@@ -1,0 +1,120 @@
+// google-benchmark micro-benchmarks for the SAT substrate: random 3-SAT near
+// the phase transition, pigeonhole (UNSAT), and real LM encodings.
+#include <benchmark/benchmark.h>
+
+#include "instances/table2.hpp"
+#include "lm/encoding.hpp"
+#include "lm/lm_solver.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace janus;  // NOLINT: bench-local concision
+
+sat::cnf random_3sat(std::uint64_t seed, int vars, double ratio) {
+  rng r(seed);
+  sat::cnf f;
+  f.new_vars(vars);
+  const int clauses = static_cast<int>(vars * ratio);
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<sat::lit> cl;
+    for (int k = 0; k < 3; ++k) {
+      cl.push_back(sat::lit::make(
+          static_cast<sat::var>(r.next_below(static_cast<std::uint64_t>(vars))),
+          r.next_bool()));
+    }
+    f.add_clause(cl);
+  }
+  return f;
+}
+
+sat::cnf pigeonhole(int holes) {
+  sat::cnf f;
+  const int pigeons = holes + 1;
+  std::vector<std::vector<sat::lit>> in(static_cast<std::size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(sat::lit::make(f.new_var()));
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    f.add_clause(in[static_cast<std::size_t>(p)]);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.add_binary(~in[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)],
+                     ~in[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]);
+      }
+    }
+  }
+  return f;
+}
+
+void BM_Random3SatUnderdetermined(benchmark::State& state) {
+  const auto f = random_3sat(7, static_cast<int>(state.range(0)), 3.5);
+  for (auto _ : state) {
+    sat::solver s;
+    s.add_cnf(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Random3SatUnderdetermined)->Arg(100)->Arg(200);
+
+void BM_Random3SatOverdetermined(benchmark::State& state) {
+  const auto f = random_3sat(8, static_cast<int>(state.range(0)), 5.0);
+  for (auto _ : state) {
+    sat::solver s;
+    s.add_cnf(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Random3SatOverdetermined)->Arg(80)->Arg(140);
+
+void BM_Pigeonhole(benchmark::State& state) {
+  const auto f = pigeonhole(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sat::solver s;
+    s.add_cnf(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Pigeonhole)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_LmEncodingBuild(benchmark::State& state) {
+  const auto target = instances::make_table2_instance("b12_07");
+  lm::lattice_info_cache cache;
+  const auto& info = cache.get({3, 6});
+  for (auto _ : state) {
+    const lm::lm_encoder enc(target, info, false, lm::lm_encode_options{});
+    benchmark::DoNotOptimize(enc.stats().num_clauses);
+  }
+}
+BENCHMARK(BM_LmEncodingBuild);
+
+void BM_LmSolveRealizable(benchmark::State& state) {
+  const auto target = instances::make_table2_instance("c17_01");
+  lm::lattice_info_cache cache;
+  const auto& info = cache.get({3, 2});
+  for (auto _ : state) {
+    const auto r = lm::solve_lm(target, info, lm::lm_options{});
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_LmSolveRealizable);
+
+void BM_LmSolveUnrealizable(benchmark::State& state) {
+  const auto target = instances::make_table2_instance("c17_01");
+  lm::lattice_info_cache cache;
+  const auto& info = cache.get({2, 2});
+  for (auto _ : state) {
+    const auto r = lm::solve_lm(target, info, lm::lm_options{});
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_LmSolveUnrealizable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// JANUS-MF demo: all eight outputs of the 5-bit squaring function (the
+// Table III "squar5" instance) on a single lattice.
+//
+// Part 1 merges per-output JANUS solutions with 0-isolation columns (the
+// "straight-forward method"); part 2 searches for a common smaller height.
+#include <cstdio>
+
+#include "instances/table3.hpp"
+#include "synth/janus_mf.hpp"
+
+int main() {
+  const auto outputs = janus::instances::make_table3_instance("squar5");
+  std::printf("squar5: %zu outputs of the 5-bit squaring function\n",
+              outputs.size());
+  for (const auto& t : outputs) {
+    std::printf("  %-9s = %s\n", t.name().c_str(), t.sop().str().c_str());
+  }
+
+  janus::synth::janus_options options;
+  options.time_limit_s = 120.0;
+  options.lm.sat_time_limit_s = 5.0;
+  const auto result = janus::synth::run_janus_mf(outputs, options);
+
+  std::printf("\nstraight-forward merge: %s = %d switches (%.1fs)\n",
+              result.straightforward.grid().grid().str().c_str(),
+              result.straightforward_size(), result.straightforward_seconds);
+  std::printf("JANUS-MF:               %s = %d switches (%.1fs total)\n",
+              result.improved.grid().grid().str().c_str(),
+              result.improved_size(), result.total_seconds);
+  std::printf("gain: %.1f%%   (paper reports 30%% on squar5, up to 32%% on bw)\n",
+              100.0 * (1.0 - static_cast<double>(result.improved_size()) /
+                                 result.straightforward_size()));
+
+  std::printf("\nshared lattice (output column spans separated by 0-columns):\n%s",
+              result.improved.grid().str().c_str());
+  for (int o = 0; o < result.improved.num_outputs(); ++o) {
+    const auto [first, last] = result.improved.span(o);
+    std::printf("output %d: columns %d..%d\n", o, first, last);
+  }
+  return 0;
+}

@@ -1,0 +1,238 @@
+#include "bf/cover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/str.hpp"
+
+namespace janus::bf {
+
+int cover::degree() const {
+  int deg = 0;
+  for (const cube& c : cubes_) {
+    deg = std::max(deg, c.num_literals());
+  }
+  return deg;
+}
+
+int cover::min_cube_literals() const {
+  int best = num_vars_ + 1;
+  for (const cube& c : cubes_) {
+    best = std::min(best, c.num_literals());
+  }
+  return cubes_.empty() ? 0 : best;
+}
+
+int cover::num_literals() const {
+  int total = 0;
+  for (const cube& c : cubes_) {
+    total += c.num_literals();
+  }
+  return total;
+}
+
+bool cover::eval(std::uint64_t minterm) const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [minterm](const cube& c) { return c.eval(minterm); });
+}
+
+truth_table cover::to_truth_table() const {
+  truth_table t(num_vars_);
+  for (const cube& c : cubes_) {
+    t |= c.to_truth_table(num_vars_);
+  }
+  return t;
+}
+
+void cover::remove_absorbed() {
+  std::vector<cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < cubes_.size() && !absorbed; ++j) {
+      if (i == j) {
+        continue;
+      }
+      if (cubes_[j].subsumes(cubes_[i]) &&
+          (cubes_[j] != cubes_[i] || j < i)) {
+        absorbed = true;
+      }
+    }
+    if (!absorbed) {
+      kept.push_back(cubes_[i]);
+    }
+  }
+  cubes_ = std::move(kept);
+}
+
+void cover::sort_desc_by_literals() {
+  std::sort(cubes_.begin(), cubes_.end(), [](const cube& a, const cube& b) {
+    if (a.num_literals() != b.num_literals()) {
+      return a.num_literals() > b.num_literals();
+    }
+    return a < b;
+  });
+}
+
+cover cover::parse(int num_vars, const std::string& text) {
+  cover out(num_vars);
+  std::size_t begin = 0;
+  const auto flush = [&](std::size_t end) {
+    std::string_view term = trim(std::string_view(text).substr(begin, end - begin));
+    if (term.empty()) {
+      return;
+    }
+    cube c;
+    if (term == "1") {
+      out.add(c);
+      return;
+    }
+    for (std::size_t i = 0; i < term.size(); ++i) {
+      const char ch = term[i];
+      JANUS_CHECK_MSG(ch >= 'a' && ch <= 'z', "expected variable letter a..z");
+      const int v = ch - 'a';
+      JANUS_CHECK_MSG(v < num_vars, "variable outside declared input count");
+      bool negated = false;
+      if (i + 1 < term.size() && term[i + 1] == '\'') {
+        negated = true;
+        ++i;
+      }
+      c.add_literal(v, negated);
+    }
+    out.add(c);
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      flush(i);
+      begin = i + 1;
+    }
+  }
+  flush(text.size());
+  return out;
+}
+
+std::string cover::str() const {
+  return str(default_var_names(num_vars_));
+}
+
+std::string cover::str(const std::vector<std::string>& names) const {
+  if (cubes_.empty()) {
+    return "0";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i > 0) {
+      out += " + ";
+    }
+    out += cubes_[i].str(names);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minato–Morreale ISOP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive core. Invariant: lower implies upper. Produces a cover F with
+/// lower ≤ F ≤ upper whose cubes are primes of upper and which is irredundant
+/// with respect to lower.
+cover isop_rec(const truth_table& lower, const truth_table& upper) {
+  const int n = lower.num_vars();
+  cover result(n);
+  if (lower.is_zero()) {
+    return result;
+  }
+  if (upper.is_one()) {
+    result.add(cube::one());
+    return result;
+  }
+
+  // Split on the highest variable in the support of either bound.
+  int split = -1;
+  for (int v = n - 1; v >= 0; --v) {
+    if (!lower.independent_of(v) || !upper.independent_of(v)) {
+      split = v;
+      break;
+    }
+  }
+  JANUS_CHECK_MSG(split >= 0, "non-constant function with empty support");
+
+  const truth_table l0 = lower.cofactor(split, false);
+  const truth_table l1 = lower.cofactor(split, true);
+  const truth_table u0 = upper.cofactor(split, false);
+  const truth_table u1 = upper.cofactor(split, true);
+
+  // Cubes that must contain literal ~x: the part of l0 not inside u1.
+  const cover f0 = isop_rec(l0 & ~u1, u0);
+  // Cubes that must contain literal x: the part of l1 not inside u0.
+  const cover f1 = isop_rec(l1 & ~u0, u1);
+
+  const truth_table g0 = f0.to_truth_table();
+  const truth_table g1 = f1.to_truth_table();
+
+  // Remainder, coverable without a literal on the split variable.
+  const truth_table rem = (l0 & ~g0) | (l1 & ~g1);
+  const cover fr = isop_rec(rem, u0 & u1);
+
+  for (cube c : f0.cubes()) {
+    result.add(c.add_literal(split, true));
+  }
+  for (cube c : f1.cubes()) {
+    result.add(c.add_literal(split, false));
+  }
+  for (const cube& c : fr.cubes()) {
+    result.add(c);
+  }
+  return result;
+}
+
+}  // namespace
+
+cover isop(const truth_table& f) { return isop(f, f); }
+
+cover isop(const truth_table& lower, const truth_table& upper) {
+  JANUS_CHECK_MSG(lower.implies(upper), "ISOP bounds must satisfy lower <= upper");
+  JANUS_CHECK_MSG(lower.num_vars() <= cube::max_vars,
+                  "too many variables for cube representation");
+  cover result = isop_rec(lower, upper);
+  // The recursion already avoids redundancy; keep a deterministic order.
+  result.sort_desc_by_literals();
+  return result;
+}
+
+bool all_cubes_prime(const cover& c, const truth_table& f) {
+  for (const cube& cb : c.cubes()) {
+    const truth_table ct = cb.to_truth_table(f.num_vars());
+    if (!ct.implies(f)) {
+      return false;  // not even an implicant
+    }
+    for (const literal l : cb.literals()) {
+      cube widened = cb;
+      widened.drop_variable(l.variable);
+      if (widened.to_truth_table(f.num_vars()).implies(f)) {
+        return false;  // a literal can be dropped: not prime
+      }
+    }
+  }
+  return true;
+}
+
+bool is_irredundant(const cover& c) {
+  const truth_table full = c.to_truth_table();
+  for (std::size_t i = 0; i < c.num_cubes(); ++i) {
+    truth_table rest(c.num_vars());
+    for (std::size_t j = 0; j < c.num_cubes(); ++j) {
+      if (j != i) {
+        rest |= c[j].to_truth_table(c.num_vars());
+      }
+    }
+    if (rest == full) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace janus::bf

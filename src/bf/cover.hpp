@@ -1,0 +1,84 @@
+// Covers: sums of products (SOP forms).
+//
+// A cover is an ordered list of cubes over a fixed input count. The paper's
+// algorithms consume ISOP covers of the target function and of its dual; the
+// degree (maximum literal count over the cubes) drives the PS/DPS bounds and
+// the structural check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bf/cube.hpp"
+#include "bf/truth_table.hpp"
+
+namespace janus::bf {
+
+/// A sum of products over `num_vars` inputs.
+class cover {
+ public:
+  cover() = default;
+  explicit cover(int num_vars) : num_vars_(num_vars) {}
+  cover(int num_vars, std::vector<cube> cubes)
+      : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_cubes() const { return cubes_.size(); }
+  [[nodiscard]] bool empty() const { return cubes_.empty(); }
+
+  [[nodiscard]] const std::vector<cube>& cubes() const { return cubes_; }
+  [[nodiscard]] std::vector<cube>& cubes() { return cubes_; }
+  [[nodiscard]] const cube& operator[](std::size_t i) const { return cubes_[i]; }
+
+  void add(const cube& c) { cubes_.push_back(c); }
+
+  /// Maximum number of literals over all cubes (the paper's degree δ).
+  [[nodiscard]] int degree() const;
+
+  /// Minimum number of literals over all cubes.
+  [[nodiscard]] int min_cube_literals() const;
+
+  /// Total literal count.
+  [[nodiscard]] int num_literals() const;
+
+  [[nodiscard]] bool eval(std::uint64_t minterm) const;
+  [[nodiscard]] truth_table to_truth_table() const;
+
+  /// Remove cubes absorbed by another cube of the cover (single-cube
+  /// containment) and duplicate cubes.
+  void remove_absorbed();
+
+  /// Sort cubes by descending literal count, then lexicographically (gives
+  /// deterministic behavior to the greedy constructions).
+  void sort_desc_by_literals();
+
+  /// Parse "ab'c + d" style text (variables a..z in order).
+  static cover parse(int num_vars, const std::string& text);
+
+  /// "ab'c + d" with default names.
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string str(const std::vector<std::string>& names) const;
+
+  friend bool operator==(const cover&, const cover&) = default;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<cube> cubes_;
+};
+
+/// Irredundant SOP of the completely specified function `f` via the
+/// Minato–Morreale algorithm. Every returned cube is a prime implicant and no
+/// cube can be removed without uncovering part of f.
+[[nodiscard]] cover isop(const truth_table& f);
+
+/// ISOP of an incompletely specified function: any cover F with
+/// lower ≤ F ≤ upper (lower must imply upper).
+[[nodiscard]] cover isop(const truth_table& lower, const truth_table& upper);
+
+/// True when every cube of `c` is a prime implicant of `f`.
+[[nodiscard]] bool all_cubes_prime(const cover& c, const truth_table& f);
+
+/// True when no cube of `c` can be dropped without changing the function.
+[[nodiscard]] bool is_irredundant(const cover& c);
+
+}  // namespace janus::bf

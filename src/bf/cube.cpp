@@ -1,0 +1,128 @@
+#include "bf/cube.hpp"
+
+#include <bit>
+
+namespace janus::bf {
+
+std::vector<std::string> default_var_names(int num_vars) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_vars));
+  for (int v = 0; v < num_vars; ++v) {
+    if (v < 26) {
+      names.push_back(std::string(1, static_cast<char>('a' + v)));
+    } else {
+      names.push_back("x" + std::to_string(v));
+    }
+  }
+  return names;
+}
+
+cube& cube::add_literal(int v, bool negated) {
+  JANUS_CHECK(v >= 0 && v < max_vars);
+  const std::uint32_t bit = std::uint32_t{1} << v;
+  pos_ &= ~bit;
+  neg_ &= ~bit;
+  if (negated) {
+    neg_ |= bit;
+  } else {
+    pos_ |= bit;
+  }
+  return *this;
+}
+
+cube& cube::drop_variable(int v) {
+  JANUS_CHECK(v >= 0 && v < max_vars);
+  const std::uint32_t bit = std::uint32_t{1} << v;
+  pos_ &= ~bit;
+  neg_ &= ~bit;
+  return *this;
+}
+
+int cube::num_literals() const {
+  return std::popcount(pos_) + std::popcount(neg_);
+}
+
+std::vector<literal> cube::literals() const {
+  std::vector<literal> out;
+  out.reserve(static_cast<std::size_t>(num_literals()));
+  for (int v = 0; v < max_vars; ++v) {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    if (pos_ & bit) {
+      out.push_back({v, false});
+    } else if (neg_ & bit) {
+      out.push_back({v, true});
+    }
+  }
+  return out;
+}
+
+bool cube::eval(std::uint64_t minterm) const {
+  const auto m = static_cast<std::uint32_t>(minterm);
+  return (pos_ & ~m) == 0 && (neg_ & m) == 0;
+}
+
+bool cube::subsumes(const cube& other) const {
+  return (pos_ & ~other.pos_) == 0 && (neg_ & ~other.neg_) == 0;
+}
+
+cube cube::intersect(const cube& other, bool& ok) const {
+  ok = (pos_ & other.neg_) == 0 && (neg_ & other.pos_) == 0;
+  cube out;
+  out.pos_ = pos_ | other.pos_;
+  out.neg_ = neg_ | other.neg_;
+  return out;
+}
+
+truth_table cube::to_truth_table(int num_vars) const {
+  truth_table t = truth_table::ones(num_vars);
+  for (const literal l : literals()) {
+    JANUS_CHECK_MSG(l.variable < num_vars, "cube literal outside var range");
+    const truth_table v = truth_table::variable(num_vars, l.variable);
+    t &= l.negated ? ~v : v;
+  }
+  return t;
+}
+
+std::string cube::str(const std::vector<std::string>& names) const {
+  if (is_one()) {
+    return "1";
+  }
+  std::string out;
+  for (const literal l : literals()) {
+    JANUS_CHECK(static_cast<std::size_t>(l.variable) < names.size());
+    out += names[static_cast<std::size_t>(l.variable)];
+    if (l.negated) {
+      out += '\'';
+    }
+  }
+  return out;
+}
+
+std::string cube::str(int num_vars) const {
+  return str(default_var_names(num_vars));
+}
+
+std::string cube::pla_str(int num_vars) const {
+  std::string out(static_cast<std::size_t>(num_vars), '-');
+  for (const literal l : literals()) {
+    JANUS_CHECK(l.variable < num_vars);
+    out[static_cast<std::size_t>(l.variable)] = l.negated ? '0' : '1';
+  }
+  return out;
+}
+
+cube cube::from_pla(const std::string& pattern) {
+  cube c;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    switch (pattern[i]) {
+      case '1': c.add_literal(static_cast<int>(i), false); break;
+      case '0': c.add_literal(static_cast<int>(i), true); break;
+      case '-': case '~': case '2': break;
+      default:
+        JANUS_CHECK_MSG(false, "invalid PLA cube character");
+    }
+  }
+  return c;
+}
+
+}  // namespace janus::bf

@@ -1,0 +1,95 @@
+// Cubes (products of literals) over up to 32 variables.
+//
+// A cube is stored as two bitmasks: variables appearing as positive literals
+// and variables appearing as complemented literals. The empty cube is the
+// constant-1 product (tautology cube).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bf/truth_table.hpp"
+#include "util/check.hpp"
+
+namespace janus::bf {
+
+/// Names a, b, c, … z for pretty-printing functions the way the paper does.
+[[nodiscard]] std::vector<std::string> default_var_names(int num_vars);
+
+/// One literal of a function: variable index plus polarity.
+struct literal {
+  int variable = 0;
+  bool negated = false;
+
+  friend bool operator==(const literal&, const literal&) = default;
+  friend auto operator<=>(const literal&, const literal&) = default;
+};
+
+/// A product of literals (conjunction); at most one polarity per variable.
+class cube {
+ public:
+  static constexpr int max_vars = 32;
+
+  cube() = default;
+
+  /// The tautology cube (constant 1).
+  static cube one() { return cube{}; }
+
+  [[nodiscard]] std::uint32_t pos_mask() const { return pos_; }
+  [[nodiscard]] std::uint32_t neg_mask() const { return neg_; }
+
+  [[nodiscard]] bool has_literal(int v, bool negated) const {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    return ((negated ? neg_ : pos_) & bit) != 0;
+  }
+  [[nodiscard]] bool mentions(int v) const {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    return ((pos_ | neg_) & bit) != 0;
+  }
+
+  /// Add literal; replaces any previous literal on the same variable.
+  cube& add_literal(int v, bool negated);
+  cube& add_literal(literal l) { return add_literal(l.variable, l.negated); }
+
+  /// Remove any literal on variable `v`.
+  cube& drop_variable(int v);
+
+  [[nodiscard]] int num_literals() const;
+  [[nodiscard]] bool is_one() const { return pos_ == 0 && neg_ == 0; }
+
+  /// Literals in variable order.
+  [[nodiscard]] std::vector<literal> literals() const;
+
+  /// Evaluate on a minterm (bit i of `minterm` = value of variable i).
+  [[nodiscard]] bool eval(std::uint64_t minterm) const;
+
+  /// This cube's literal set is a subset of `other`'s — so as a product this
+  /// absorbs `other` (this + other == this).
+  [[nodiscard]] bool subsumes(const cube& other) const;
+
+  /// Conjunction of two cubes; sets `ok` false when they clash (x and ~x).
+  [[nodiscard]] cube intersect(const cube& other, bool& ok) const;
+
+  /// Truth table of this product over `num_vars` inputs.
+  [[nodiscard]] truth_table to_truth_table(int num_vars) const;
+
+  /// e.g. "ab'c" with default names; "1" for the tautology cube.
+  [[nodiscard]] std::string str(const std::vector<std::string>& names) const;
+  [[nodiscard]] std::string str(int num_vars) const;
+
+  /// PLA-style form over `num_vars` positions, e.g. "1-0".
+  [[nodiscard]] std::string pla_str(int num_vars) const;
+  static cube from_pla(const std::string& pattern);
+
+  friend bool operator==(const cube&, const cube&) = default;
+  friend bool operator<(const cube& a, const cube& b) {
+    return a.pos_ != b.pos_ ? a.pos_ < b.pos_ : a.neg_ < b.neg_;
+  }
+
+ private:
+  std::uint32_t pos_ = 0;
+  std::uint32_t neg_ = 0;
+};
+
+}  // namespace janus::bf

@@ -1,0 +1,143 @@
+#include "bf/espresso.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace janus::bf {
+
+namespace {
+
+/// Cost used to compare covers: fewer cubes first, then fewer literals.
+struct cover_cost {
+  std::size_t cubes;
+  int literals;
+  friend bool operator<(const cover_cost& a, const cover_cost& b) {
+    if (a.cubes != b.cubes) {
+      return a.cubes < b.cubes;
+    }
+    return a.literals < b.literals;
+  }
+  friend bool operator==(const cover_cost&, const cover_cost&) = default;
+};
+
+cover_cost cost_of(const cover& c) {
+  return {c.num_cubes(), c.num_literals()};
+}
+
+/// EXPAND: greedily drop literals from each cube while it stays inside
+/// `upper` (onset ∪ dc). Literals are tried in descending variable order for
+/// determinism. Expanded cubes absorb others, shrinking the cover.
+void expand(cover& c, const truth_table& upper) {
+  for (cube& cb : c.cubes()) {
+    for (const literal l : cb.literals()) {
+      cube widened = cb;
+      widened.drop_variable(l.variable);
+      if (widened.to_truth_table(upper.num_vars()).implies(upper)) {
+        cb = widened;
+      }
+    }
+  }
+  c.remove_absorbed();
+}
+
+/// IRREDUNDANT: greedily remove cubes whose onset part is covered by the
+/// rest of the cover plus the don't-care set. Cubes are scanned largest-first
+/// so expendable big cubes go before small essential ones.
+void irredundant(cover& c, const truth_table& onset, const truth_table& dc) {
+  c.sort_desc_by_literals();
+  const int n = onset.num_vars();
+  std::vector<truth_table> tts;
+  tts.reserve(c.num_cubes());
+  for (const cube& cb : c.cubes()) {
+    tts.push_back(cb.to_truth_table(n));
+  }
+  std::vector<bool> removed(c.num_cubes(), false);
+  for (std::size_t i = 0; i < c.num_cubes(); ++i) {
+    truth_table rest = dc;
+    for (std::size_t j = 0; j < c.num_cubes(); ++j) {
+      if (j != i && !removed[j]) {
+        rest |= tts[j];
+      }
+    }
+    if ((tts[i] & onset).implies(rest)) {
+      removed[i] = true;
+    }
+  }
+  std::vector<cube> kept;
+  for (std::size_t i = 0; i < c.num_cubes(); ++i) {
+    if (!removed[i]) {
+      kept.push_back(c[i]);
+    }
+  }
+  c = cover(n, std::move(kept));
+}
+
+/// REDUCE: shrink each cube to the smallest cube containing the part of the
+/// onset only it covers, opening room for a better EXPAND in the next round.
+void reduce(cover& c, const truth_table& onset) {
+  const int n = onset.num_vars();
+  for (std::size_t i = 0; i < c.num_cubes(); ++i) {
+    truth_table rest(n);
+    for (std::size_t j = 0; j < c.num_cubes(); ++j) {
+      if (j != i) {
+        rest |= c[j].to_truth_table(n);
+      }
+    }
+    const truth_table essential = c[i].to_truth_table(n) & onset & ~rest;
+    if (essential.is_zero()) {
+      continue;  // fully redundant here; IRREDUNDANT will handle it
+    }
+    // Smallest enclosing cube (supercube) of the essential points,
+    // intersected with the current cube's literals.
+    cube shrunk = c[i];
+    for (int v = 0; v < n; ++v) {
+      if (shrunk.mentions(v)) {
+        continue;
+      }
+      const truth_table vt = truth_table::variable(n, v);
+      if ((essential & vt).is_zero()) {
+        shrunk.add_literal(v, true);  // essential part lies in v = 0
+      } else if ((essential & ~vt).is_zero()) {
+        shrunk.add_literal(v, false);  // essential part lies in v = 1
+      }
+    }
+    c.cubes()[i] = shrunk;
+  }
+}
+
+}  // namespace
+
+cover espresso_lite(const truth_table& f, const espresso_options& options) {
+  return espresso_lite(f, truth_table::zeros(f.num_vars()), options);
+}
+
+cover espresso_lite(const truth_table& onset, const truth_table& dc,
+                    const espresso_options& options) {
+  JANUS_CHECK_MSG((onset & dc).is_zero(), "onset and dc sets must be disjoint");
+  const truth_table upper = onset | dc;
+
+  cover best = isop(onset, upper);
+  cover_cost best_cost = cost_of(best);
+
+  cover current = best;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    reduce(current, onset);
+    expand(current, upper);
+    irredundant(current, onset, dc);
+    JANUS_CHECK_MSG(onset.implies(current.to_truth_table()) &&
+                        current.to_truth_table().implies(upper),
+                    "espresso-lite produced an invalid cover");
+    const cover_cost cost = cost_of(current);
+    if (cost < best_cost) {
+      best = current;
+      best_cost = cost;
+    } else {
+      break;  // fixed point
+    }
+  }
+  best.sort_desc_by_literals();
+  return best;
+}
+
+}  // namespace janus::bf

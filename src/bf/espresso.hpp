@@ -1,0 +1,29 @@
+// espresso-lite: a compact two-level minimizer in the espresso mold.
+//
+// The paper feeds every target function (and its dual) through espresso to
+// obtain a minimum-product ISOP before synthesis. This module plays that
+// role: EXPAND / IRREDUNDANT / REDUCE iterated to a fixed point, seeded by the
+// Minato–Morreale ISOP. Exactness is not claimed (espresso is heuristic too);
+// the result is always a valid irredundant prime cover of the input function.
+#pragma once
+
+#include "bf/cover.hpp"
+#include "bf/truth_table.hpp"
+
+namespace janus::bf {
+
+struct espresso_options {
+  int max_rounds = 8;  // EXPAND/IRREDUNDANT/REDUCE fixed-point cap
+};
+
+/// Minimize a completely specified function. The result covers exactly `f`.
+[[nodiscard]] cover espresso_lite(const truth_table& f,
+                                  const espresso_options& options = {});
+
+/// Minimize with don't-cares: result covers at least `onset` and at most
+/// `onset | dc`.
+[[nodiscard]] cover espresso_lite(const truth_table& onset,
+                                  const truth_table& dc,
+                                  const espresso_options& options = {});
+
+}  // namespace janus::bf

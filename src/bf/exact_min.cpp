@@ -1,0 +1,324 @@
+#include "bf/exact_min.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bf/espresso.hpp"
+#include "util/check.hpp"
+
+namespace janus::bf {
+
+namespace {
+
+struct cube_hash {
+  std::size_t operator()(const cube& c) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(c.pos_mask()) << 32) |
+                      c.neg_mask();
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<cube>> all_primes(const truth_table& f,
+                                            std::size_t max_primes) {
+  const int n = f.num_vars();
+  std::vector<cube> primes;
+  if (f.is_zero()) {
+    return primes;
+  }
+  if (f.is_one()) {
+    primes.push_back(cube::one());
+    return primes;
+  }
+
+  // Quine–McCluskey: start from onset minterms, merge cubes that differ in
+  // exactly one variable's polarity, level by level.
+  std::unordered_set<cube, cube_hash> current;
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    if (!f.get(m)) {
+      continue;
+    }
+    cube c;
+    for (int v = 0; v < n; ++v) {
+      c.add_literal(v, ((m >> v) & 1) == 0);
+    }
+    current.insert(c);
+  }
+
+  while (!current.empty()) {
+    if (current.size() > max_primes) {
+      return std::nullopt;
+    }
+    std::unordered_set<cube, cube_hash> next;
+    std::unordered_set<cube, cube_hash> merged;
+    for (const cube& c : current) {
+      for (const literal l : c.literals()) {
+        cube partner = c;
+        partner.add_literal(l.variable, !l.negated);
+        if (current.count(partner) != 0) {
+          merged.insert(c);
+          cube wider = c;
+          wider.drop_variable(l.variable);
+          next.insert(wider);
+          if (next.size() > max_primes) {
+            return std::nullopt;
+          }
+        }
+      }
+    }
+    for (const cube& c : current) {
+      if (merged.count(c) == 0) {
+        primes.push_back(c);
+        if (primes.size() > max_primes) {
+          return std::nullopt;
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+/// Branch-and-bound minimum unate covering.
+class covering_solver {
+ public:
+  covering_solver(std::size_t num_rows, std::size_t num_cols,
+                  std::vector<std::vector<int>> row_to_cols,
+                  std::vector<std::vector<int>> col_to_rows,
+                  std::uint64_t max_nodes)
+      : row_cols_(std::move(row_to_cols)),
+        col_rows_(std::move(col_to_rows)),
+        row_alive_(num_rows, true),
+        col_alive_(num_cols, true),
+        max_nodes_(max_nodes) {}
+
+  /// Minimum set of columns covering all rows, or nullopt when the node cap
+  /// was exceeded before optimality was proven.
+  std::optional<std::vector<int>> solve() {
+    seed_greedy_incumbent();
+    std::vector<int> chosen;
+    recurse(chosen);
+    if (aborted_) {
+      return std::nullopt;
+    }
+    return best_;
+  }
+
+ private:
+  /// Greedy set cover as the initial incumbent: without it, branch and bound
+  /// starts from a trivial bound and crawls on dense tables (e.g. duals of
+  /// sparse functions, whose onset is nearly the whole space).
+  void seed_greedy_incumbent() {
+    std::vector<bool> covered(row_alive_.size(), false);
+    std::size_t remaining = row_alive_.size();
+    std::vector<int> greedy;
+    while (remaining > 0) {
+      int best_col = -1;
+      std::size_t best_gain = 0;
+      for (std::size_t c = 0; c < col_rows_.size(); ++c) {
+        std::size_t gain = 0;
+        for (const int r : col_rows_[c]) {
+          gain += covered[static_cast<std::size_t>(r)] ? 0 : 1;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_col = static_cast<int>(c);
+        }
+      }
+      if (best_col < 0) {
+        break;  // uncoverable rows (cannot happen for prime tables)
+      }
+      greedy.push_back(best_col);
+      for (const int r : col_rows_[static_cast<std::size_t>(best_col)]) {
+        if (!covered[static_cast<std::size_t>(r)]) {
+          covered[static_cast<std::size_t>(r)] = true;
+          --remaining;
+        }
+      }
+    }
+    if (remaining == 0) {
+      best_ = greedy;
+      best_size_ = greedy.size();
+    } else {
+      best_size_ = col_rows_.size() + 1;
+    }
+  }
+
+  [[nodiscard]] std::vector<int> alive_cols_of_row(int r) const {
+    std::vector<int> out;
+    for (const int c : row_cols_[static_cast<std::size_t>(r)]) {
+      if (col_alive_[static_cast<std::size_t>(c)]) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  /// Greedy lower bound: rows with pairwise-disjoint candidate columns each
+  /// require a distinct column.
+  [[nodiscard]] std::size_t lower_bound() const {
+    std::vector<bool> used_col(col_alive_.size(), false);
+    std::size_t bound = 0;
+    for (std::size_t r = 0; r < row_alive_.size(); ++r) {
+      if (!row_alive_[r]) {
+        continue;
+      }
+      bool independent = true;
+      for (const int c : row_cols_[r]) {
+        if (col_alive_[static_cast<std::size_t>(c)] &&
+            used_col[static_cast<std::size_t>(c)]) {
+          independent = false;
+          break;
+        }
+      }
+      if (independent) {
+        ++bound;
+        for (const int c : row_cols_[r]) {
+          if (col_alive_[static_cast<std::size_t>(c)]) {
+            used_col[static_cast<std::size_t>(c)] = true;
+          }
+        }
+      }
+    }
+    return bound;
+  }
+
+  void choose(int col, std::vector<int>& chosen,
+              std::vector<int>& killed_rows) {
+    chosen.push_back(col);
+    for (const int r : col_rows_[static_cast<std::size_t>(col)]) {
+      if (row_alive_[static_cast<std::size_t>(r)]) {
+        row_alive_[static_cast<std::size_t>(r)] = false;
+        killed_rows.push_back(r);
+      }
+    }
+  }
+
+  void unchoose(std::vector<int>& chosen, const std::vector<int>& killed_rows) {
+    chosen.pop_back();
+    for (const int r : killed_rows) {
+      row_alive_[static_cast<std::size_t>(r)] = true;
+    }
+  }
+
+  void recurse(std::vector<int>& chosen) {
+    if (aborted_ || ++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    if (chosen.size() >= best_size_) {
+      return;
+    }
+    // Find the uncovered row with the fewest alive columns.
+    int pick_row = -1;
+    std::size_t pick_width = col_alive_.size() + 1;
+    for (std::size_t r = 0; r < row_alive_.size(); ++r) {
+      if (!row_alive_[r]) {
+        continue;
+      }
+      const std::size_t width = alive_cols_of_row(static_cast<int>(r)).size();
+      if (width == 0) {
+        return;  // uncoverable under current column removals
+      }
+      if (width < pick_width) {
+        pick_width = width;
+        pick_row = static_cast<int>(r);
+      }
+    }
+    if (pick_row < 0) {
+      best_ = chosen;  // all rows covered
+      best_size_ = chosen.size();
+      return;
+    }
+    if (chosen.size() + lower_bound() >= best_size_) {
+      return;
+    }
+    for (const int col : alive_cols_of_row(pick_row)) {
+      std::vector<int> killed;
+      choose(col, chosen, killed);
+      recurse(chosen);
+      unchoose(chosen, killed);
+      if (aborted_) {
+        return;
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> row_cols_;
+  std::vector<std::vector<int>> col_rows_;
+  std::vector<bool> row_alive_;
+  std::vector<bool> col_alive_;
+  std::vector<int> best_;
+  std::size_t best_size_ = 0;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t max_nodes_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<cover> exact_minimize(const truth_table& f,
+                                    const exact_min_options& options) {
+  const int n = f.num_vars();
+  if (f.is_zero()) {
+    return cover(n);
+  }
+  if (f.is_one()) {
+    cover c(n);
+    c.add(cube::one());
+    return c;
+  }
+  const auto primes = all_primes(f, options.max_primes);
+  if (!primes.has_value()) {
+    return std::nullopt;
+  }
+
+  // Covering table: rows = onset minterms, columns = primes.
+  std::vector<std::uint64_t> minterms;
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    if (f.get(m)) {
+      minterms.push_back(m);
+    }
+  }
+  std::vector<std::vector<int>> row_cols(minterms.size());
+  std::vector<std::vector<int>> col_rows(primes->size());
+  for (std::size_t r = 0; r < minterms.size(); ++r) {
+    for (std::size_t c = 0; c < primes->size(); ++c) {
+      if ((*primes)[c].eval(minterms[r])) {
+        row_cols[r].push_back(static_cast<int>(c));
+        col_rows[c].push_back(static_cast<int>(r));
+      }
+    }
+  }
+  covering_solver solver(minterms.size(), primes->size(), std::move(row_cols),
+                         std::move(col_rows), options.max_bb_nodes);
+  const auto solution = solver.solve();
+  if (!solution.has_value()) {
+    return std::nullopt;
+  }
+  cover out(n);
+  for (const int c : *solution) {
+    out.add((*primes)[static_cast<std::size_t>(c)]);
+  }
+  out.sort_desc_by_literals();
+  JANUS_CHECK_MSG(out.to_truth_table() == f,
+                  "exact minimizer produced a wrong cover");
+  return out;
+}
+
+cover minimize(const truth_table& f, const exact_min_options& options) {
+  if (auto exact = exact_minimize(f, options)) {
+    return *exact;
+  }
+  cover heuristic = espresso_lite(f);
+  heuristic.sort_desc_by_literals();
+  return heuristic;
+}
+
+}  // namespace janus::bf

@@ -1,0 +1,145 @@
+#include "bf/pla.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/str.hpp"
+
+namespace janus::bf {
+
+cover pla_file::onset_cover(int output) const {
+  JANUS_CHECK(output >= 0 && output < num_outputs);
+  cover c(num_inputs);
+  for (const row& r : rows) {
+    if (r.outputs[static_cast<std::size_t>(output)] == '1') {
+      c.add(r.input);
+    }
+  }
+  return c;
+}
+
+cover pla_file::dc_cover(int output) const {
+  JANUS_CHECK(output >= 0 && output < num_outputs);
+  cover c(num_inputs);
+  for (const row& r : rows) {
+    const char ch = r.outputs[static_cast<std::size_t>(output)];
+    if (ch == '-' || ch == '2' || ch == '~') {
+      c.add(r.input);
+    }
+  }
+  return c;
+}
+
+truth_table pla_file::onset(int output) const {
+  return onset_cover(output).to_truth_table();
+}
+
+std::vector<truth_table> pla_file::all_onsets() const {
+  std::vector<truth_table> out;
+  out.reserve(static_cast<std::size_t>(num_outputs));
+  for (int o = 0; o < num_outputs; ++o) {
+    out.push_back(onset(o));
+  }
+  return out;
+}
+
+pla_file read_pla(std::istream& in) {
+  pla_file file;
+  bool saw_i = false;
+  bool saw_o = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const std::string_view t = trim(line);
+    if (t.empty()) {
+      continue;
+    }
+    if (t[0] == '.') {
+      const auto tokens = split_ws(t);
+      const std::string& key = tokens[0];
+      if (key == ".i") {
+        JANUS_CHECK_MSG(tokens.size() == 2, "malformed .i line");
+        file.num_inputs = std::stoi(tokens[1]);
+        JANUS_CHECK_MSG(file.num_inputs > 0 && file.num_inputs <= cube::max_vars,
+                        "unsupported input count");
+        saw_i = true;
+      } else if (key == ".o") {
+        JANUS_CHECK_MSG(tokens.size() == 2, "malformed .o line");
+        file.num_outputs = std::stoi(tokens[1]);
+        JANUS_CHECK_MSG(file.num_outputs > 0, "unsupported output count");
+        saw_o = true;
+      } else if (key == ".ilb") {
+        file.input_names.assign(tokens.begin() + 1, tokens.end());
+      } else if (key == ".ob") {
+        file.output_names.assign(tokens.begin() + 1, tokens.end());
+      } else if (key == ".e" || key == ".end") {
+        break;
+      }
+      // .p, .type and other directives are informational; ignore.
+      continue;
+    }
+    JANUS_CHECK_MSG(saw_i && saw_o, "PLA cube before .i/.o declarations");
+    const auto tokens = split_ws(t);
+    JANUS_CHECK_MSG(tokens.size() == 2, "PLA row must have input and output parts");
+    JANUS_CHECK_MSG(tokens[0].size() == static_cast<std::size_t>(file.num_inputs),
+                    "PLA input part has wrong width");
+    JANUS_CHECK_MSG(tokens[1].size() == static_cast<std::size_t>(file.num_outputs),
+                    "PLA output part has wrong width");
+    file.rows.push_back({cube::from_pla(tokens[0]), tokens[1]});
+  }
+  JANUS_CHECK_MSG(saw_i && saw_o, "PLA file missing .i/.o declarations");
+  return file;
+}
+
+pla_file read_pla_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_pla(in);
+}
+
+void write_pla(std::ostream& out, const pla_file& file) {
+  out << ".i " << file.num_inputs << '\n';
+  out << ".o " << file.num_outputs << '\n';
+  if (!file.input_names.empty()) {
+    out << ".ilb";
+    for (const auto& n : file.input_names) {
+      out << ' ' << n;
+    }
+    out << '\n';
+  }
+  if (!file.output_names.empty()) {
+    out << ".ob";
+    for (const auto& n : file.output_names) {
+      out << ' ' << n;
+    }
+    out << '\n';
+  }
+  out << ".p " << file.rows.size() << '\n';
+  for (const auto& r : file.rows) {
+    out << r.input.pla_str(file.num_inputs) << ' ' << r.outputs << '\n';
+  }
+  out << ".e\n";
+}
+
+pla_file to_pla(const std::vector<cover>& outputs) {
+  JANUS_CHECK(!outputs.empty());
+  pla_file file;
+  file.num_inputs = outputs[0].num_vars();
+  file.num_outputs = static_cast<int>(outputs.size());
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    JANUS_CHECK_MSG(outputs[o].num_vars() == file.num_inputs,
+                    "all outputs must share the input count");
+    for (const cube& c : outputs[o].cubes()) {
+      std::string mask(static_cast<std::size_t>(file.num_outputs), '0');
+      mask[o] = '1';
+      file.rows.push_back({c, std::move(mask)});
+    }
+  }
+  return file;
+}
+
+}  // namespace janus::bf

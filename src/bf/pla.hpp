@@ -1,0 +1,53 @@
+// Berkeley/espresso PLA format reader and writer.
+//
+// The paper's benchmark suite (MCNC / LGSynth91) ships as PLA files; each
+// Table II instance is one output of such a file. This front-end lets users
+// run the genuine files; the in-tree suite (src/instances) is generated, see
+// DESIGN.md §4.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bf/cover.hpp"
+#include "bf/truth_table.hpp"
+
+namespace janus::bf {
+
+/// A parsed multi-output PLA.
+struct pla_file {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::string> input_names;   // may be empty
+  std::vector<std::string> output_names;  // may be empty
+
+  /// One row: an input cube plus the per-output characters ('1','0','-').
+  struct row {
+    cube input;
+    std::string outputs;
+  };
+  std::vector<row> rows;
+
+  /// Onset cover of one output (rows whose output char is '1').
+  [[nodiscard]] cover onset_cover(int output) const;
+
+  /// Don't-care cover of one output (rows whose output char is '-').
+  [[nodiscard]] cover dc_cover(int output) const;
+
+  /// Onset truth table of one output.
+  [[nodiscard]] truth_table onset(int output) const;
+
+  /// All outputs as truth tables.
+  [[nodiscard]] std::vector<truth_table> all_onsets() const;
+};
+
+/// Parse a PLA file; throws janus::check_error on malformed input.
+[[nodiscard]] pla_file read_pla(std::istream& in);
+[[nodiscard]] pla_file read_pla_string(const std::string& text);
+
+/// Serialize in PLA format (type f: rows list the onset).
+void write_pla(std::ostream& out, const pla_file& file);
+[[nodiscard]] pla_file to_pla(const std::vector<cover>& outputs);
+
+}  // namespace janus::bf

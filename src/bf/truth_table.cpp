@@ -1,0 +1,224 @@
+#include "bf/truth_table.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace janus::bf {
+
+namespace {
+std::size_t words_for(int num_vars) {
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  return static_cast<std::size_t>((bits + 63) / 64);
+}
+}  // namespace
+
+truth_table::truth_table(int num_vars) : num_vars_(num_vars) {
+  JANUS_CHECK_MSG(num_vars >= 0 && num_vars <= max_vars,
+                  "unsupported truth table size");
+  words_.assign(words_for(num_vars), 0ull);
+}
+
+truth_table truth_table::ones(int num_vars) {
+  truth_table t(num_vars);
+  std::fill(t.words_.begin(), t.words_.end(), ~0ull);
+  t.mask_tail();
+  return t;
+}
+
+truth_table truth_table::variable(int num_vars, int v) {
+  JANUS_CHECK(v >= 0 && v < num_vars);
+  truth_table t(num_vars);
+  if (v < 6) {
+    // Pattern repeats within each word.
+    std::uint64_t pattern = 0;
+    for (int i = 0; i < 64; ++i) {
+      if ((i >> v) & 1) {
+        pattern |= std::uint64_t{1} << i;
+      }
+    }
+    std::fill(t.words_.begin(), t.words_.end(), pattern);
+  } else {
+    // Whole words alternate in blocks of 2^(v-6).
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w) {
+      if ((w / block) & 1) {
+        t.words_[w] = ~0ull;
+      }
+    }
+  }
+  t.mask_tail();
+  return t;
+}
+
+void truth_table::mask_tail() {
+  if (num_vars_ < 6) {
+    words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+  }
+}
+
+bool truth_table::get(std::uint64_t minterm) const {
+  JANUS_CHECK(minterm < num_minterms());
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+}
+
+void truth_table::set(std::uint64_t minterm, bool value) {
+  JANUS_CHECK(minterm < num_minterms());
+  const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
+  if (value) {
+    words_[minterm >> 6] |= bit;
+  } else {
+    words_[minterm >> 6] &= ~bit;
+  }
+}
+
+bool truth_table::is_zero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool truth_table::is_one() const {
+  return *this == ones(num_vars_);
+}
+
+std::uint64_t truth_table::count_ones() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+truth_table truth_table::operator~() const {
+  truth_table out(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = ~words_[i];
+  }
+  out.mask_tail();
+  return out;
+}
+
+truth_table truth_table::operator&(const truth_table& rhs) const {
+  truth_table out = *this;
+  out &= rhs;
+  return out;
+}
+
+truth_table truth_table::operator|(const truth_table& rhs) const {
+  truth_table out = *this;
+  out |= rhs;
+  return out;
+}
+
+truth_table truth_table::operator^(const truth_table& rhs) const {
+  truth_table out = *this;
+  out ^= rhs;
+  return out;
+}
+
+truth_table& truth_table::operator&=(const truth_table& rhs) {
+  check_compatible(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= rhs.words_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator|=(const truth_table& rhs) {
+  check_compatible(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= rhs.words_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator^=(const truth_table& rhs) {
+  check_compatible(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= rhs.words_[i];
+  }
+  return *this;
+}
+
+bool truth_table::implies(const truth_table& rhs) const {
+  check_compatible(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~rhs.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+truth_table truth_table::cofactor(int v, bool value) const {
+  JANUS_CHECK(v >= 0 && v < num_vars_);
+  truth_table out(num_vars_);
+  const std::uint64_t n = num_minterms();
+  const std::uint64_t vbit = std::uint64_t{1} << v;
+  for (std::uint64_t m = 0; m < n; ++m) {
+    const std::uint64_t source = value ? (m | vbit) : (m & ~vbit);
+    out.set(m, get(source));
+  }
+  return out;
+}
+
+bool truth_table::independent_of(int v) const {
+  return cofactor(v, false) == cofactor(v, true);
+}
+
+std::vector<int> truth_table::support() const {
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (!independent_of(v)) {
+      vars.push_back(v);
+    }
+  }
+  return vars;
+}
+
+truth_table truth_table::dual() const {
+  truth_table out(num_vars_);
+  const std::uint64_t n = num_minterms();
+  const std::uint64_t mask = n - 1;
+  for (std::uint64_t m = 0; m < n; ++m) {
+    out.set(m, !get(~m & mask));
+  }
+  return out;
+}
+
+std::string truth_table::to_binary_string() const {
+  std::string s;
+  const std::uint64_t n = num_minterms();
+  s.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t m = 0; m < n; ++m) {
+    s.push_back(get(m) ? '1' : '0');
+  }
+  return s;
+}
+
+truth_table truth_table::from_binary_string(const std::string& bits) {
+  int num_vars = 0;
+  while ((std::uint64_t{1} << num_vars) < bits.size()) {
+    ++num_vars;
+  }
+  JANUS_CHECK_MSG((std::uint64_t{1} << num_vars) == bits.size(),
+                  "truth table string length must be a power of two");
+  truth_table t(num_vars);
+  for (std::size_t m = 0; m < bits.size(); ++m) {
+    JANUS_CHECK(bits[m] == '0' || bits[m] == '1');
+    t.set(m, bits[m] == '1');
+  }
+  return t;
+}
+
+std::uint64_t truth_table::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(num_vars_);
+  for (const std::uint64_t w : words_) {
+    std::uint64_t z = w + 0x9e3779b97f4a7c15ULL + h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace janus::bf

@@ -1,0 +1,98 @@
+// Dense truth tables for completely specified Boolean functions.
+//
+// JANUS works on functions with up to ~12 inputs (the paper's suite tops out
+// at 11), so a packed 2^n-bit table is the simplest exact representation. It
+// backs every semantic operation in the library: ISOP extraction, dualization,
+// cover verification and lattice-mapping verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace janus::bf {
+
+/// Truth table of a Boolean function on `num_vars` inputs.
+///
+/// Minterm index encoding: bit i of the index is the value of variable i.
+class truth_table {
+ public:
+  /// Maximum supported input count (2^20 bits = 128 KiB per table).
+  static constexpr int max_vars = 20;
+
+  truth_table() = default;
+
+  /// The constant-0 function on `num_vars` inputs.
+  explicit truth_table(int num_vars);
+
+  static truth_table zeros(int num_vars) { return truth_table(num_vars); }
+  static truth_table ones(int num_vars);
+
+  /// Single-variable projection x_v on `num_vars` inputs.
+  static truth_table variable(int num_vars, int v);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_minterms() const {
+    return std::uint64_t{1} << num_vars_;
+  }
+
+  [[nodiscard]] bool get(std::uint64_t minterm) const;
+  void set(std::uint64_t minterm, bool value);
+
+  [[nodiscard]] bool is_zero() const;
+  [[nodiscard]] bool is_one() const;
+  [[nodiscard]] std::uint64_t count_ones() const;
+
+  /// Pointwise logical operators (operands must agree on num_vars).
+  truth_table operator~() const;
+  truth_table operator&(const truth_table& rhs) const;
+  truth_table operator|(const truth_table& rhs) const;
+  truth_table operator^(const truth_table& rhs) const;
+  truth_table& operator&=(const truth_table& rhs);
+  truth_table& operator|=(const truth_table& rhs);
+  truth_table& operator^=(const truth_table& rhs);
+
+  friend bool operator==(const truth_table& a, const truth_table& b) {
+    return a.num_vars_ == b.num_vars_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const truth_table& a, const truth_table& b) {
+    return !(a == b);
+  }
+
+  /// True when this function implies `rhs` (this ≤ rhs pointwise).
+  [[nodiscard]] bool implies(const truth_table& rhs) const;
+
+  /// Cofactor with variable `v` fixed to `value`; result keeps num_vars
+  /// inputs (the cofactor is degenerate in v).
+  [[nodiscard]] truth_table cofactor(int v, bool value) const;
+
+  /// True when the function does not depend on variable `v`.
+  [[nodiscard]] bool independent_of(int v) const;
+
+  /// Indices of variables the function actually depends on.
+  [[nodiscard]] std::vector<int> support() const;
+
+  /// The dual function f^D(x) = ~f(~x).
+  [[nodiscard]] truth_table dual() const;
+
+  /// "0110..." string, minterm 0 first; for diagnostics and tests.
+  [[nodiscard]] std::string to_binary_string() const;
+  static truth_table from_binary_string(const std::string& bits);
+
+  /// Stable 64-bit content hash (for memo tables).
+  [[nodiscard]] std::uint64_t hash() const;
+
+ private:
+  void check_compatible(const truth_table& rhs) const {
+    JANUS_CHECK_MSG(num_vars_ == rhs.num_vars_,
+                    "truth tables over different input counts");
+  }
+  void mask_tail();
+
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_{1, 0ull};
+};
+
+}  // namespace janus::bf

@@ -1,0 +1,192 @@
+#include "instances/table2.hpp"
+
+#include <algorithm>
+
+#include "bf/exact_min.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace janus::instances {
+
+using bf::cover;
+using bf::cube;
+using lm::target_spec;
+
+const std::vector<table2_row>& table2_rows() {
+  static const std::vector<table2_row> rows = {
+      {"5xp1_1", 7, 11, 5, 16, 105, 32, "5x10", "5x5", "6x5", "5x5", "4x6", 2023.2},
+      {"5xp1_3", 6, 14, 5, 15, 135, 40, "4x11", "5x27", "11x4", "11x4", "4x9", 19745.8},
+      {"b12_00", 6, 4, 4, 9, 24, 20, "4x3", "4x3", "4x3", "4x3", "4x3", 0.3},
+      {"b12_01", 7, 7, 4, 12, 35, 20, "4x4", "4x4", "4x4", "5x3", "5x3", 1.1},
+      {"b12_02", 8, 7, 5, 12, 42, 24, "5x8", "4x4", "5x4", "4x4", "4x4", 4.1},
+      {"b12_03", 4, 4, 2, 6, 6, 6, "2x5", "3x2", "3x2", "3x2", "3x2", 0.1},
+      {"b12_06", 9, 9, 6, 15, 44, 24, "5x4", "5x4", "5x4", "5x4", "5x4", 23.8},
+      {"b12_07", 7, 6, 4, 16, 24, 24, "6x8", "3x6", "5x4", "3x6", "3x6", 1.5},
+      {"c17_01", 4, 4, 2, 6, 6, 6, "3x2", "3x2", "3x2", "3x2", "3x2", 0.1},
+      {"clpl_00", 7, 4, 4, 12, 16, 15, "4x5", "3x4", "3x4", "3x4", "3x4", 0.3},
+      {"clpl_03", 11, 6, 6, 16, 36, 24, "6x9", "3x6", "3x6", "3x6", "3x6", 84.9},
+      {"clpl_04", 9, 5, 5, 15, 25, 18, "5x8", "3x5", "3x5", "3x5", "3x5", 1.3},
+      {"dc1_00", 4, 4, 3, 9, 16, 15, "4x4", "3x3", "3x3", "3x3", "3x3", 0.2},
+      {"dc1_02", 4, 4, 3, 12, 16, 15, "3x5", "3x4", "3x4", "4x3", "4x3", 0.3},
+      {"dc1_03", 4, 4, 4, 9, 20, 18, "4x5", "4x3", "4x3", "4x3", "4x3", 0.3},
+      {"ex5_06", 7, 8, 3, 16, 32, 24, "3x10", "3x6", "3x7", "3x6", "3x6", 2.1},
+      {"ex5_07", 8, 10, 4, 24, 40, 27, "3x13", "4x6", "3x9", "4x6", "3x8", 2.5},
+      {"ex5_08", 8, 7, 3, 20, 21, 21, "3x9", "3x7", "3x7", "3x7", "3x7", 7.2},
+      {"ex5_09", 8, 10, 4, 24, 40, 30, "3x11", "4x6", "3x8", "4x6", "3x8", 17.6},
+      {"ex5_10", 6, 7, 3, 16, 21, 21, "3x9", "3x6", "3x6", "3x6", "3x6", 0.5},
+      {"ex5_12", 8, 9, 3, 15, 25, 20, "5x9", "3x5", "3x5", "3x5", "3x5", 12.6},
+      {"ex5_13", 8, 9, 3, 24, 36, 27, "3x13", "3x8", "4x6", "4x6", "3x8", 2.8},
+      {"ex5_14", 8, 8, 2, 16, 16, 16, "3x11", "2x8", "2x8", "2x8", "2x8", 0.2},
+      {"ex5_15", 8, 12, 4, 20, 72, 33, "4x13", "4x7", "6x12", "6x5", "3x8", 2562.4},
+      {"ex5_17", 8, 14, 4, 20, 105, 42, "4x10", "4x7", "10x6", "6x6", "3x9", 4377.6},
+      {"ex5_19", 8, 6, 3, 16, 18, 18, "5x7", "3x6", "3x6", "3x6", "3x6", 0.4},
+      {"ex5_21", 8, 10, 3, 20, 57, 30, "4x9", "3x7", "4x7", "3x7", "3x7", 790.8},
+      {"ex5_22", 7, 6, 3, 16, 33, 21, "3x8", "3x6", "3x6", "3x6", "3x6", 1.2},
+      {"ex5_23", 8, 12, 4, 24, 92, 36, "4x11", "4x8", "11x5", "3x9", "3x9", 3726.4},
+      {"ex5_24", 8, 14, 5, 20, 105, 33, "5x14", "15x7", "3x11", "4x7", "3x8", 1638.8},
+      {"ex5_25", 8, 8, 3, 20, 40, 27, "3x8", "3x7", "3x7", "3x7", "3x7", 152.7},
+      {"ex5_26", 8, 10, 3, 20, 57, 30, "4x11", "3x7", "3x9", "3x7", "3x7", 36.3},
+      {"ex5_27", 8, 11, 4, 20, 77, 27, "4x10", "4x6", "3x8", "4x6", "3x8", 1229.3},
+      {"ex5_28", 8, 9, 3, 24, 27, 27, "3x13", "3x8", "3x8", "6x4", "3x8", 1.6},
+      {"misex1_00", 4, 2, 4, 6, 8, 8, "4x3", "4x2", "4x2", "4x2", "4x2", 0.1},
+      {"misex1_01", 6, 5, 4, 12, 35, 18, "5x5", "3x5", "4x4", "3x5", "3x5", 1.1},
+      {"misex1_02", 7, 5, 5, 12, 40, 25, "5x5", "5x4", "5x4", "5x4", "5x4", 19.7},
+      {"misex1_03", 7, 4, 5, 9, 28, 20, "4x6", "4x3", "5x3", "4x3", "4x3", 0.5},
+      {"misex1_04", 4, 5, 4, 12, 25, 18, "4x7", "3x4", "5x3", "3x4", "3x4", 0.4},
+      {"misex1_05", 6, 6, 4, 12, 42, 21, "4x6", "4x4", "5x4", "4x4", "4x4", 2.1},
+      {"misex1_06", 6, 5, 4, 12, 35, 18, "4x7", "5x3", "5x3", "5x3", "5x3", 1.3},
+      {"misex1_07", 6, 4, 4, 9, 20, 18, "5x5", "4x3", "5x3", "4x3", "4x3", 0.5},
+      {"mp2d_01", 10, 8, 5, 24, 48, 30, "4x11", "5x7", "4x7", "3x9", "3x9", 3257.3},
+      {"mp2d_02", 11, 10, 4, 28, 50, 33, "4x13", "4x9", "4x7", "4x7", "4x7", 948.9},
+      {"mp2d_03", 10, 5, 8, 15, 72, 32, "7x6", "5x5", "4x6", "6x4", "4x6", 271.2},
+      {"mp2d_04", 10, 6, 9, 15, 57, 36, "7x3", "7x3", "7x3", "7x3", "7x3", 286.8},
+      {"mp2d_06", 5, 3, 5, 8, 18, 16, "5x4", "6x2", "7x2", "4x3", "6x2", 0.4},
+      {"newtag_00", 8, 8, 3, 16, 32, 24, "3x8", "3x6", "3x6", "3x6", "3x6", 2.2},
+  };
+  return rows;
+}
+
+const table2_row& table2_row_by_name(const std::string& name) {
+  for (const table2_row& row : table2_rows()) {
+    if (row.name == name) {
+      return row;
+    }
+  }
+  JANUS_CHECK_MSG(false, "unknown Table II instance: " + name);
+}
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One random cube with exactly `len` literals over `nvars` variables.
+cube random_cube(rng& r, int nvars, int len) {
+  cube c;
+  std::vector<int> vars(static_cast<std::size_t>(nvars));
+  for (int v = 0; v < nvars; ++v) {
+    vars[static_cast<std::size_t>(v)] = v;
+  }
+  for (int k = 0; k < len; ++k) {
+    const auto pick =
+        k + static_cast<int>(r.next_below(static_cast<std::uint64_t>(nvars - k)));
+    std::swap(vars[static_cast<std::size_t>(k)], vars[static_cast<std::size_t>(pick)]);
+    c.add_literal(vars[static_cast<std::size_t>(k)], r.next_bool());
+  }
+  return c;
+}
+
+/// The exact c17 output 23: x2·(x3·x6)' + (x3·x6)'·x7, inputs renamed
+/// (x2,x3,x6,x7) → (a,b,c,d).
+target_spec make_c17_01() {
+  return target_spec::parse(4, "ab' + ac' + b'd + c'd", "c17_01");
+}
+
+}  // namespace
+
+target_spec make_table2_instance(const table2_row& row, instance_stats* stats) {
+  if (row.name == "c17_01") {
+    target_spec t = make_c17_01();
+    if (stats != nullptr) {
+      *stats = {t.num_vars(), static_cast<int>(t.num_products()), t.degree(),
+                static_cast<int>(t.num_products()) == row.products &&
+                    t.degree() == row.degree,
+                0};
+    }
+    return t;
+  }
+
+  target_spec best;
+  instance_stats best_stats;
+  int best_distance = 1 << 20;
+  constexpr int max_attempts = 120;
+  constexpr int max_rounds = 24;
+  for (int attempt = 0; attempt < max_attempts && best_distance > 0; ++attempt) {
+    rng r(name_seed(row.name) + 0x9e3779b97f4a7c15ULL *
+                                    static_cast<std::uint64_t>(attempt));
+    // Adaptive build: keep adding random cubes until the *minimized* cover
+    // reaches the wanted product count (random cubes often merge, so one
+    // shot rarely lands on dense instances).
+    bf::truth_table tt(row.inputs);
+    int have = 0;
+    for (int round = 0; round < max_rounds; ++round) {
+      const int need = row.products - have;
+      if (need <= 0) {
+        break;
+      }
+      // Approach the wanted count gently — random cubes merge, so adding a
+      // full batch overshoots on dense instances.
+      const int batch = have == 0 ? need : std::max(1, need / 2);
+      for (int i = 0; i < batch; ++i) {
+        // The first cube pins the degree; the rest skew toward large
+        // products the way minimized MCNC slices do.
+        int len = row.degree;
+        if (have + i > 0) {
+          const int slack = std::min(3, row.degree - 1);
+          len = row.degree - static_cast<int>(r.next_below(
+                                 static_cast<std::uint64_t>(slack + 1)));
+        }
+        tt |= random_cube(r, row.inputs, len).to_truth_table(row.inputs);
+      }
+      if (tt.is_one()) {
+        break;
+      }
+      const cover minimized = bf::minimize(tt);
+      have = static_cast<int>(minimized.num_cubes());
+      const int got_deg = minimized.degree();
+      const int distance =
+          std::abs(have - row.products) * 4 + std::abs(got_deg - row.degree);
+      const bool support_ok =
+          static_cast<int>(tt.support().size()) == row.inputs;
+      if (support_ok && distance < best_distance) {
+        best = target_spec::from_function(tt, row.name);
+        best_stats = {row.inputs, have, got_deg, distance == 0, attempt + 1};
+        best_distance = distance;
+      }
+      if (have > row.products) {
+        break;  // overshot: restart with a new seed
+      }
+      if (distance == 0) {
+        break;
+      }
+    }
+  }
+  JANUS_CHECK_MSG(best_distance < (1 << 20),
+                  "instance generator produced nothing for " + row.name);
+  if (stats != nullptr) {
+    *stats = best_stats;
+  }
+  return best;
+}
+
+target_spec make_table2_instance(const std::string& name) {
+  return make_table2_instance(table2_row_by_name(name));
+}
+
+}  // namespace janus::instances

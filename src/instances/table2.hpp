@@ -1,0 +1,59 @@
+// The 48 single-output instances of Table II.
+//
+// Each row embeds the paper's reported statistics (#in, #pi, δ), bounds
+// (lb / oub / nub), per-method solutions and JANUS CPU time, so the bench can
+// print paper-vs-measured side by side. The actual functions are generated
+// deterministically to match (#in, #pi, δ) exactly after minimization —
+// see DESIGN.md §4 for why this preserves the experiment's shape.
+// `c17_01` is reconstructed exactly from the c17 netlist
+// (out23 = x2·(x3x6)' + (x3x6)'·x7 on inputs {x2,x3,x6,x7}).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lm/target.hpp"
+
+namespace janus::instances {
+
+struct table2_row {
+  std::string name;
+  int inputs;   ///< #in
+  int products; ///< #pi
+  int degree;   ///< δ
+  int paper_lb;
+  int paper_oub;
+  int paper_nub;
+  std::string paper_sol_9;        ///< method of [9]
+  std::string paper_sol_11;       ///< method of [11]
+  std::string paper_sol_approx6;  ///< approximate method of [6]
+  std::string paper_sol_exact6;   ///< exact method of [6]
+  std::string paper_sol_janus;    ///< JANUS
+  double paper_cpu_janus;         ///< seconds on the paper's Xeon
+};
+
+/// All 48 rows in the paper's order.
+[[nodiscard]] const std::vector<table2_row>& table2_rows();
+
+/// Look up one row by name (throws janus::check_error when absent).
+[[nodiscard]] const table2_row& table2_row_by_name(const std::string& name);
+
+/// Statistics achieved by the generated stand-in for a row.
+struct instance_stats {
+  int inputs = 0;
+  int products = 0;
+  int degree = 0;
+  bool exact_match = false;  ///< all three match the paper's row
+  int attempts = 0;          ///< generator attempts used
+};
+
+/// Deterministically build the stand-in function for `row`. The generator
+/// resamples (seeded by the row name) until the minimized ISOP matches
+/// (#in, #pi, δ); `stats` (optional) reports what was achieved.
+[[nodiscard]] lm::target_spec make_table2_instance(const table2_row& row,
+                                                   instance_stats* stats = nullptr);
+
+/// Convenience: by name.
+[[nodiscard]] lm::target_spec make_table2_instance(const std::string& name);
+
+}  // namespace janus::instances

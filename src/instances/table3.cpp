@@ -1,0 +1,94 @@
+#include "instances/table3.hpp"
+
+#include "bf/truth_table.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace janus::instances {
+
+using bf::truth_table;
+using lm::target_spec;
+
+const std::vector<table3_row>& table3_rows() {
+  static const std::vector<table3_row> rows = {
+      {"bw", 5, 28, "5x119", 595, "3x135", 405},
+      {"misex1", 8, 7, "5x31", 155, "3x42", 126},
+      {"squar5", 5, 8, "5x31", 155, "3x36", 108},
+  };
+  return rows;
+}
+
+namespace {
+
+/// Random non-constant function with a small onset — bw-style outputs are
+/// sparse decode-like functions.
+truth_table random_sparse_function(rng& r, int nvars, int max_onset) {
+  truth_table t(nvars);
+  const int onset = 1 + static_cast<int>(r.next_below(
+                            static_cast<std::uint64_t>(max_onset)));
+  for (int i = 0; i < onset; ++i) {
+    t.set(r.next_below(t.num_minterms()), true);
+  }
+  if (t.is_zero() || t.is_one()) {
+    t.set(0, !t.get(0));
+  }
+  return t;
+}
+
+/// Random function built from a few medium cubes — misex1-style outputs.
+truth_table random_cubey_function(rng& r, int nvars, int cubes, int max_len) {
+  truth_table t(nvars);
+  for (int i = 0; i < cubes; ++i) {
+    truth_table c = truth_table::ones(nvars);
+    const int len =
+        2 + static_cast<int>(r.next_below(static_cast<std::uint64_t>(max_len - 1)));
+    for (int k = 0; k < len; ++k) {
+      const int v = static_cast<int>(r.next_below(static_cast<std::uint64_t>(nvars)));
+      const truth_table vt = truth_table::variable(nvars, v);
+      c &= r.next_bool() ? vt : ~vt;
+    }
+    t |= c;
+  }
+  if (t.is_zero() || t.is_one()) {
+    t.set(0, !t.get(0));
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<target_spec> make_table3_instance(const std::string& name) {
+  std::vector<target_spec> outputs;
+  if (name == "squar5") {
+    // out_j = bit (j + 2) of in^2 for j = 0..7.
+    for (int j = 0; j < 8; ++j) {
+      truth_table t(5);
+      for (std::uint64_t in = 0; in < 32; ++in) {
+        const std::uint64_t square = in * in;
+        t.set(in, ((square >> (j + 2)) & 1) != 0);
+      }
+      outputs.push_back(
+          target_spec::from_function(t, "squar5_" + std::to_string(j)));
+    }
+    return outputs;
+  }
+  if (name == "bw") {
+    rng r(0xb30db3aULL);
+    for (int j = 0; j < 28; ++j) {
+      outputs.push_back(target_spec::from_function(
+          random_sparse_function(r, 5, 6), "bw_" + std::to_string(j)));
+    }
+    return outputs;
+  }
+  if (name == "misex1") {
+    rng r(0x313537ULL);
+    for (int j = 0; j < 7; ++j) {
+      outputs.push_back(target_spec::from_function(
+          random_cubey_function(r, 8, 4, 5), "misex1_" + std::to_string(j)));
+    }
+    return outputs;
+  }
+  JANUS_CHECK_MSG(false, "unknown Table III instance: " + name);
+}
+
+}  // namespace janus::instances

@@ -1,0 +1,34 @@
+// The multi-output suites of Table III: bw, misex1, squar5.
+//
+// squar5 is the genuine 5-bit squaring function (we expose bits 2..9 of in²
+// as its 8 outputs — bit 1 of a square is identically 0, bit 0 is the input's
+// LSB; see DESIGN.md §4). bw (5 in / 28 out) and misex1 (8 in / 7 out) are
+// stat-matched synthetic suites generated deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lm/target.hpp"
+
+namespace janus::instances {
+
+struct table3_row {
+  std::string name;
+  int inputs;
+  int outputs;
+  // Paper's Table III columns.
+  std::string paper_sf_sol;   ///< straight-forward merge, e.g. "5x119"
+  int paper_sf_size;
+  std::string paper_mf_sol;   ///< JANUS-MF, e.g. "3x135"
+  int paper_mf_size;
+};
+
+[[nodiscard]] const std::vector<table3_row>& table3_rows();
+
+/// All outputs of a Table III instance as single-output targets over the
+/// instance's common input space.
+[[nodiscard]] std::vector<lm::target_spec> make_table3_instance(
+    const std::string& name);
+
+}  // namespace janus::instances

@@ -1,0 +1,37 @@
+// Lattice dimensions and cell indexing.
+//
+// A switching lattice is an m×n grid of four-terminal switches. Cells are
+// indexed row-major: cell(r, c) = r * cols + c. Row 0 touches the top plate,
+// row m-1 the bottom plate; column 0 the left plate, column n-1 the right.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace janus::lattice {
+
+struct dims {
+  int rows = 0;
+  int cols = 0;
+
+  [[nodiscard]] int size() const { return rows * cols; }
+  [[nodiscard]] int cell(int r, int c) const {
+    JANUS_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    return r * cols + c;
+  }
+  [[nodiscard]] int row_of(int cell) const { return cell / cols; }
+  [[nodiscard]] int col_of(int cell) const { return cell % cols; }
+
+  [[nodiscard]] dims transposed() const { return {cols, rows}; }
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(rows) + "x" + std::to_string(cols);
+  }
+
+  friend bool operator==(const dims&, const dims&) = default;
+  friend auto operator<=>(const dims&, const dims&) = default;
+};
+
+}  // namespace janus::lattice

@@ -1,0 +1,57 @@
+// Irredundant path enumeration — the lattice function and its dual.
+//
+// The products of the m×n lattice function are exactly the *minimal*
+// 4-connected top–bottom connectors; the products of its dual are the minimal
+// 8-connected left–right connectors (Altun & Riedel 2012). A connector is
+// minimal iff it is a self-avoiding path that (a) touches the source plate
+// only at its first cell and the sink plate only at its last, and (b) never
+// has two non-consecutive cells adjacent (no shortcut exists). This module
+// enumerates those paths; Table I of the paper is reproduced exactly from it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lattice/dims.hpp"
+
+namespace janus::lattice {
+
+/// Which family of paths: the lattice function itself or its dual.
+enum class connectivity : std::uint8_t {
+  four_top_bottom,   ///< 4-connected, top plate to bottom plate
+  eight_left_right,  ///< 8-connected, left plate to right plate
+};
+
+/// One irredundant path: cell indices in traversal order.
+struct path {
+  std::vector<std::uint16_t> cells;
+
+  [[nodiscard]] int length() const { return static_cast<int>(cells.size()); }
+};
+
+/// Visit every irredundant path once. Return false from the visitor to abort
+/// enumeration early (enumerate_paths then returns false).
+bool enumerate_paths(const dims& d, connectivity conn,
+                     const std::function<bool(const path&)>& visit);
+
+/// All irredundant paths, or std::nullopt when more than `max_paths` exist.
+[[nodiscard]] std::optional<std::vector<path>> collect_paths(
+    const dims& d, connectivity conn,
+    std::size_t max_paths = 2'000'000);
+
+/// Number of irredundant paths (number of products of the lattice function
+/// for four_top_bottom, of its dual for eight_left_right).
+[[nodiscard]] std::uint64_t count_paths(const dims& d, connectivity conn);
+
+/// The paper's Table I entry for an m×n lattice: products of f_mxn and of its
+/// dual, hard-coded from the paper for 2 <= m,n <= 8 (used to validate the
+/// enumerator).
+struct table1_entry {
+  std::uint64_t function_products;
+  std::uint64_t dual_products;
+};
+[[nodiscard]] table1_entry paper_table1(int rows, int cols);
+
+}  // namespace janus::lattice

@@ -1,0 +1,363 @@
+#include "lm/encoding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace janus::lm {
+
+using lattice::cell_assign;
+
+std::vector<std::uint64_t> onset_entries(const bf::truth_table& f) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    if (f.get(m)) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+std::uint64_t estimate_encoding_clauses(const target_spec& target,
+                                        const lattice_info& info,
+                                        bool dual_side,
+                                        const lm_encode_options& options) {
+  const bf::truth_table& side_fn =
+      dual_side ? target.dual_function() : target.function();
+  const auto& paths = dual_side ? info.paths_8lr : info.paths_4tb;
+  const std::uint64_t cells = static_cast<std::uint64_t>(info.d.size());
+  const std::uint64_t entries = side_fn.num_minterms();
+  const std::uint64_t on = side_fn.count_ones();
+  const std::uint64_t off = entries - on;
+  // TL size: 2 constants + at most 2 literals per variable.
+  const std::uint64_t tl =
+      2 + 2 * static_cast<std::uint64_t>(target.num_vars());
+
+  std::uint64_t total_path_cells = 0;
+  for (const auto& p : paths) {
+    total_path_cells += static_cast<std::uint64_t>(p.cells.size());
+  }
+  const std::uint64_t exactly_one = cells * (1 + tl * (tl - 1) / 2);
+  const std::uint64_t link = cells * tl * entries;
+  const std::uint64_t off_clauses = off * paths.size();
+  // ON entries: one selector clause + per-path per-cell implications, plus
+  // the helper facts (a few clauses per line).
+  std::uint64_t per_on = 1 + total_path_cells;
+  if (options.use_helper_facts) {
+    per_on += 4 * cells;
+  }
+  return exactly_one + link + off_clauses + on * per_on;
+}
+
+lm_encoder::lm_encoder(const target_spec& target, const lattice_info& info,
+                       bool dual_side, lm_encode_options options)
+    : target_(target),
+      info_(info),
+      dual_side_(dual_side),
+      options_(options) {
+  JANUS_CHECK_MSG(!info_.oversized, "cannot encode an oversized lattice");
+  side_function_ = dual_side_ ? &target_.dual_function() : &target_.function();
+  side_sop_ = dual_side_ ? &target_.dual_sop() : &target_.sop();
+  side_paths_ = dual_side_ ? &info_.paths_8lr : &info_.paths_4tb;
+  build();
+}
+
+sat::lit lm_encoder::map_lit(int cell, std::size_t tl_index) const {
+  return sat::lit::make(map_base_ +
+                        cell * static_cast<int>(tl_.size()) +
+                        static_cast<int>(tl_index));
+}
+
+sat::lit lm_encoder::val_lit(int cell, std::uint64_t entry) const {
+  return sat::lit::make(val_base_ +
+                        static_cast<sat::var>(entry) * info_.d.size() + cell);
+}
+
+void lm_encoder::build() {
+  // --- target literal set TL ---------------------------------------------
+  tl_.clear();
+  tl_.push_back(cell_assign::zero());
+  tl_.push_back(cell_assign::one());
+  const int r = target_.num_vars();
+  std::vector<bool> use_pos(static_cast<std::size_t>(r), false);
+  std::vector<bool> use_neg(static_cast<std::size_t>(r), false);
+  if (options_.tl_isop_literals_only) {
+    for (const bf::cube& c : side_sop_->cubes()) {
+      for (const bf::literal l : c.literals()) {
+        (l.negated ? use_neg : use_pos)[static_cast<std::size_t>(l.variable)] =
+            true;
+      }
+    }
+  } else {
+    std::fill(use_pos.begin(), use_pos.end(), true);
+    std::fill(use_neg.begin(), use_neg.end(), true);
+  }
+  for (int v = 0; v < r; ++v) {
+    if (use_pos[static_cast<std::size_t>(v)]) {
+      tl_.push_back(cell_assign::lit(v, false));
+    }
+    if (use_neg[static_cast<std::size_t>(v)]) {
+      tl_.push_back(cell_assign::lit(v, true));
+    }
+  }
+
+  build_mapping_layer();
+
+  const std::uint64_t entries = side_function_->num_minterms();
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    build_entry(e, side_function_->get(e));
+  }
+
+  if (options_.strict_product_rules) {
+    build_strict_rules();
+  } else if (options_.use_degree_rules) {
+    build_degree_rules();
+  }
+
+  stats_.num_vars = static_cast<std::uint64_t>(formula_.num_vars());
+  stats_.num_clauses = formula_.num_clauses();
+}
+
+void lm_encoder::build_mapping_layer() {
+  const int cells = info_.d.size();
+  map_base_ = formula_.new_vars(cells * static_cast<int>(tl_.size()));
+  val_base_ = formula_.new_vars(
+      cells * static_cast<int>(side_function_->num_minterms()));
+
+  const std::uint64_t before = formula_.num_clauses();
+  std::vector<sat::lit> group(tl_.size());
+  for (int cell = 0; cell < cells; ++cell) {
+    for (std::size_t j = 0; j < tl_.size(); ++j) {
+      group[j] = map_lit(cell, j);
+    }
+    if (options_.amo_sequential) {
+      formula_.exactly_one_sequential(group);
+    } else {
+      formula_.exactly_one(group);
+    }
+  }
+
+  // Link clauses: a chosen wiring forces the cell's value at every entry.
+  const std::uint64_t entries = side_function_->num_minterms();
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    for (int cell = 0; cell < cells; ++cell) {
+      for (std::size_t j = 0; j < tl_.size(); ++j) {
+        const sat::lit mv = map_lit(cell, j);
+        const sat::lit value = val_lit(cell, e);
+        if (tl_[j].eval(e)) {
+          formula_.add_binary(~mv, value);
+        } else {
+          formula_.add_binary(~mv, ~value);
+        }
+      }
+    }
+  }
+  stats_.link_clauses = formula_.num_clauses() - before;
+}
+
+void lm_encoder::build_entry(std::uint64_t entry, bool target_value) {
+  const std::uint64_t before = formula_.num_clauses();
+  if (!target_value) {
+    // Every irredundant path must be broken at this entry.
+    std::vector<sat::lit> clause;
+    for (const lattice::path& p : *side_paths_) {
+      clause.clear();
+      clause.reserve(p.cells.size());
+      for (const std::uint16_t cell : p.cells) {
+        clause.push_back(~val_lit(cell, entry));
+      }
+      formula_.add_clause(clause);
+    }
+    stats_.off_entry_clauses += formula_.num_clauses() - before;
+    return;
+  }
+
+  // ON entry: one selected path is fully on.
+  std::vector<sat::lit> selectors;
+  selectors.reserve(side_paths_->size());
+  for (const lattice::path& p : *side_paths_) {
+    const sat::lit sel = sat::lit::make(formula_.new_var());
+    selectors.push_back(sel);
+    for (const std::uint16_t cell : p.cells) {
+      formula_.add_binary(~sel, val_lit(cell, entry));
+    }
+  }
+  formula_.add_clause(selectors);
+
+  if (options_.use_helper_facts) {
+    // Fact (i): a connecting path crosses every transversal line, so each
+    // row (primal) / column (dual side) holds at least one 1.
+    const int lines = dual_side_ ? info_.d.cols : info_.d.rows;
+    const int per_line = dual_side_ ? info_.d.rows : info_.d.cols;
+    std::vector<sat::lit> line_clause;
+    for (int line = 0; line < lines; ++line) {
+      line_clause.clear();
+      for (int k = 0; k < per_line; ++k) {
+        const int cell = dual_side_ ? info_.d.cell(k, line) : info_.d.cell(line, k);
+        line_clause.push_back(val_lit(cell, entry));
+      }
+      formula_.add_clause(line_clause);
+    }
+    // Fact (ii): between consecutive lines there is an adjacent ON pair
+    // (vertically aligned for 4-connectivity; within one diagonal step for
+    // the 8-connected dual view).
+    for (int line = 0; line + 1 < lines; ++line) {
+      std::vector<sat::lit> pair_clause;
+      for (int k = 0; k < per_line; ++k) {
+        const int a = dual_side_ ? info_.d.cell(k, line) : info_.d.cell(line, k);
+        const int lo = dual_side_ ? std::max(0, k - 1) : k;
+        const int hi = dual_side_ ? std::min(per_line - 1, k + 1) : k;
+        for (int k2 = lo; k2 <= hi; ++k2) {
+          const int b = dual_side_ ? info_.d.cell(k2, line + 1)
+                                   : info_.d.cell(line + 1, k2);
+          const sat::lit both = sat::lit::make(formula_.new_var());
+          formula_.add_binary(~both, val_lit(a, entry));
+          formula_.add_binary(~both, val_lit(b, entry));
+          pair_clause.push_back(both);
+        }
+      }
+      formula_.add_clause(pair_clause);
+    }
+  }
+  stats_.on_entry_clauses += formula_.num_clauses() - before;
+}
+
+void lm_encoder::add_realization_rule(
+    const bf::cube& p, const std::vector<const lattice::path*>& paths,
+    bool allow_one) {
+  const std::uint64_t before = formula_.num_clauses();
+  // Which TL indices are literals of p (plus constant 1 when allowed)?
+  std::vector<std::size_t> allowed;
+  std::vector<std::vector<std::size_t>> per_literal;  // TL indices per literal
+  for (const bf::literal l : p.literals()) {
+    std::vector<std::size_t> idx;
+    for (std::size_t j = 0; j < tl_.size(); ++j) {
+      const cell_assign& a = tl_[j];
+      const bool matches =
+          (a.k == cell_assign::kind::positive && !l.negated &&
+           a.var == l.variable) ||
+          (a.k == cell_assign::kind::negative && l.negated &&
+           a.var == l.variable);
+      if (matches) {
+        idx.push_back(j);
+        allowed.push_back(j);
+      }
+    }
+    per_literal.push_back(std::move(idx));
+  }
+  if (allow_one) {
+    for (std::size_t j = 0; j < tl_.size(); ++j) {
+      if (tl_[j].k == cell_assign::kind::constant_one) {
+        allowed.push_back(j);
+      }
+    }
+  }
+  std::sort(allowed.begin(), allowed.end());
+  allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+
+  std::vector<sat::lit> choice;
+  choice.reserve(paths.size());
+  for (const lattice::path* path : paths) {
+    const sat::lit real = sat::lit::make(formula_.new_var());
+    choice.push_back(real);
+    std::vector<sat::lit> clause;
+    // Every cell of the path maps within the allowed set.
+    for (const std::uint16_t cell : path->cells) {
+      clause.assign(1, ~real);
+      for (const std::size_t j : allowed) {
+        clause.push_back(map_lit(cell, j));
+      }
+      formula_.add_clause(clause);
+    }
+    // Every literal of p is used by some cell of the path.
+    for (const auto& idx : per_literal) {
+      clause.assign(1, ~real);
+      for (const std::uint16_t cell : path->cells) {
+        for (const std::size_t j : idx) {
+          clause.push_back(map_lit(cell, j));
+        }
+      }
+      formula_.add_clause(clause);
+    }
+  }
+  formula_.add_clause(choice);  // some path realizes p
+  stats_.rule_clauses += formula_.num_clauses() - before;
+}
+
+void lm_encoder::build_degree_rules() {
+  const int lattice_degree = dual_side_ ? info_.max_len_8lr() : info_.max_len_4tb();
+  const int target_degree = side_sop_->degree();
+
+  std::uint64_t aux_estimate = 0;
+  const auto paths_with = [&](auto pred) {
+    std::vector<const lattice::path*> out;
+    for (const lattice::path& p : *side_paths_) {
+      if (pred(p.length())) {
+        out.push_back(&p);
+      }
+    }
+    return out;
+  };
+
+  for (const bf::cube& p : side_sop_->cubes()) {
+    const int len = p.num_literals();
+    if (target_degree == lattice_degree && len == target_degree) {
+      const auto paths = paths_with([&](int L) { return L == len; });
+      aux_estimate += paths.size();
+      if (aux_estimate > options_.max_rule_aux_vars) {
+        return;
+      }
+      add_realization_rule(p, paths, /*allow_one=*/false);
+    } else if (len > options_.long_product_threshold) {
+      const auto paths =
+          paths_with([&](int L) { return L > options_.long_product_threshold &&
+                                         L >= len; });
+      aux_estimate += paths.size();
+      if (aux_estimate > options_.max_rule_aux_vars) {
+        return;
+      }
+      add_realization_rule(p, paths, /*allow_one=*/true);
+    }
+  }
+}
+
+void lm_encoder::build_strict_rules() {
+  // Approx-[6]: every product, no exceptions, realized by a dedicated path
+  // over only its own literals.
+  std::uint64_t aux_estimate = 0;
+  for (const bf::cube& p : side_sop_->cubes()) {
+    const int len = p.num_literals();
+    std::vector<const lattice::path*> paths;
+    for (const lattice::path& path : *side_paths_) {
+      if (path.length() >= len) {
+        paths.push_back(&path);
+      }
+    }
+    aux_estimate += paths.size();
+    if (aux_estimate > options_.max_rule_aux_vars) {
+      return;
+    }
+    add_realization_rule(p, paths, /*allow_one=*/false);
+  }
+}
+
+lattice::lattice_mapping lm_encoder::decode(const sat::solver& s) const {
+  lattice::lattice_mapping out(info_.d, target_.num_vars());
+  for (int cell = 0; cell < info_.d.size(); ++cell) {
+    std::optional<cell_assign> chosen;
+    for (std::size_t j = 0; j < tl_.size(); ++j) {
+      if (s.model_bool(map_lit(cell, j).variable())) {
+        JANUS_CHECK_MSG(!chosen.has_value(),
+                        "model selects two wirings for one cell");
+        chosen = tl_[j];
+      }
+    }
+    JANUS_CHECK_MSG(chosen.has_value(), "model leaves a cell unwired");
+    const cell_assign a =
+        dual_side_ ? chosen->with_constants_flipped() : *chosen;
+    out.cells()[static_cast<std::size_t>(cell)] = a;
+  }
+  return out;
+}
+
+}  // namespace janus::lm

@@ -1,0 +1,126 @@
+// SAT encoding of the lattice-mapping (LM) problem — Section III-A.
+//
+// Given a target f and an m×n lattice, the encoder emits a CNF over:
+//   * mapping variables  mv[cell][j]   — cell is wired to target-literal j,
+//   * value variables    val[cell][e]  — the cell's control value at truth
+//                                        table entry e (the paper's lv_tte),
+//   * per-ON-entry path selectors, and optional rule/auxiliary variables.
+//
+// Clause groups (mirroring the paper):
+//   1. exactly-one mapping per cell + mapping→value link clauses;
+//   2. OFF entries: every irredundant path must contain a 0 cell;
+//      ON entries: some path has all cells 1 (selector + implications),
+//      plus the two helper "facts" (a 1 per row; a vertical 1-pair per
+//      consecutive row boundary);
+//   3. degree rules: products of maximal degree must be realized by
+//      maximal-length paths; products with more than `long_product_threshold`
+//      literals by paths longer than the threshold.
+//
+// The same machinery poses the dual problem (realize f^D by the 8-connected
+// left–right paths); a model found there converts to a primal realization by
+// keeping literals and flipping constants (see DESIGN.md §6 invariants).
+//
+// `strict_product_rules` reproduces the *approximate method of [6]*: every
+// target product must be realized by a dedicated path using only that
+// product's literals — a genuine restriction that can make realizable
+// instances UNSAT, which is exactly the behavior Table II shows for [6]-approx.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lattice/mapping.hpp"
+#include "lm/lattice_info.hpp"
+#include "lm/target.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace janus::lm {
+
+struct lm_encode_options {
+  bool use_degree_rules = true;
+  int long_product_threshold = 5;  // the paper's empirically chosen 5
+  bool use_helper_facts = true;
+  bool strict_product_rules = false;   // approx-[6] baseline behavior
+  bool tl_isop_literals_only = true;   // TL from the ISOP (paper) vs all literals
+  bool amo_sequential = false;         // sequential-counter exactly-one per cell
+  std::size_t max_rule_aux_vars = 50'000;  // skip degree rules beyond this
+};
+
+/// Statistics of a built encoding (reported by the ablation bench).
+struct lm_encoding_stats {
+  std::uint64_t num_vars = 0;
+  std::uint64_t num_clauses = 0;
+  std::uint64_t off_entry_clauses = 0;
+  std::uint64_t on_entry_clauses = 0;
+  std::uint64_t link_clauses = 0;
+  std::uint64_t rule_clauses = 0;
+  [[nodiscard]] std::uint64_t complexity() const {
+    return num_vars * num_clauses;
+  }
+};
+
+/// One side (primal or dual) of the LM problem, encoded to CNF.
+class lm_encoder {
+ public:
+  /// `dual_side` = false: realize target.function() via 4-connected
+  /// top–bottom paths. true: realize target.dual_function() via 8-connected
+  /// left–right paths (converted back to a primal mapping on decode).
+  lm_encoder(const target_spec& target, const lattice_info& info,
+             bool dual_side, lm_encode_options options);
+
+  [[nodiscard]] const sat::cnf& formula() const { return formula_; }
+  [[nodiscard]] const lm_encoding_stats& stats() const { return stats_; }
+  [[nodiscard]] bool dual_side() const { return dual_side_; }
+
+  /// Extract the primal lattice mapping from a satisfying assignment.
+  [[nodiscard]] lattice::lattice_mapping decode(const sat::solver& s) const;
+
+ private:
+  void build();
+  void build_mapping_layer();
+  void build_entry(std::uint64_t entry, bool target_value);
+  void build_degree_rules();
+  void build_strict_rules();
+
+  /// Clause group for "product `p` is realized by one of `paths`"; cells of
+  /// the chosen path may use only `p`'s literals (plus constant 1 when
+  /// `allow_one`), and every literal of `p` must appear on the path.
+  void add_realization_rule(const bf::cube& p,
+                            const std::vector<const lattice::path*>& paths,
+                            bool allow_one);
+
+  [[nodiscard]] sat::lit map_lit(int cell, std::size_t tl_index) const;
+  [[nodiscard]] sat::lit val_lit(int cell, std::uint64_t entry) const;
+
+  const target_spec& target_;
+  const lattice_info& info_;
+  bool dual_side_;
+  lm_encode_options options_;
+
+  // Side-resolved views.
+  const bf::truth_table* side_function_ = nullptr;
+  const bf::cover* side_sop_ = nullptr;
+  const std::vector<lattice::path>* side_paths_ = nullptr;
+
+  std::vector<lattice::cell_assign> tl_;  // target literal set (incl. 0 and 1)
+  sat::cnf formula_;
+  lm_encoding_stats stats_;
+  sat::var map_base_ = 0;
+  sat::var val_base_ = 0;
+};
+
+/// Convenience: truth-table entries where the side function is 1.
+[[nodiscard]] std::vector<std::uint64_t> onset_entries(const bf::truth_table& f);
+
+/// Cheap a-priori estimate of the clause count of one problem side, computed
+/// from entry/path counts without building anything. solve_lm uses it to skip
+/// candidates whose encoding would not fit the configured budget (the same
+/// give-up behavior the paper's per-call time limit induces, but before
+/// burning minutes and gigabytes on CNF construction).
+[[nodiscard]] std::uint64_t estimate_encoding_clauses(
+    const target_spec& target, const lattice_info& info, bool dual_side,
+    const lm_encode_options& options);
+
+}  // namespace janus::lm

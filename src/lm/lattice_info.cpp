@@ -1,0 +1,39 @@
+#include "lm/lattice_info.hpp"
+
+#include <algorithm>
+
+namespace janus::lm {
+
+const lattice_info& lattice_info_cache::get(const lattice::dims& d) {
+  const auto key = std::make_pair(d.rows, d.cols);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    return *it->second;
+  }
+  auto info = std::make_unique<lattice_info>();
+  info->d = d;
+  auto p4 = lattice::collect_paths(d, lattice::connectivity::four_top_bottom,
+                                   max_paths_);
+  auto p8 = lattice::collect_paths(d, lattice::connectivity::eight_left_right,
+                                   max_paths_);
+  if (!p4.has_value() || !p8.has_value()) {
+    info->oversized = true;
+  } else {
+    info->paths_4tb = std::move(*p4);
+    info->paths_8lr = std::move(*p8);
+    info->lengths_4tb_desc.reserve(info->paths_4tb.size());
+    for (const auto& p : info->paths_4tb) {
+      info->lengths_4tb_desc.push_back(p.length());
+    }
+    info->lengths_8lr_desc.reserve(info->paths_8lr.size());
+    for (const auto& p : info->paths_8lr) {
+      info->lengths_8lr_desc.push_back(p.length());
+    }
+    std::sort(info->lengths_4tb_desc.rbegin(), info->lengths_4tb_desc.rend());
+    std::sort(info->lengths_8lr_desc.rbegin(), info->lengths_8lr_desc.rend());
+  }
+  const auto& ref = *(entries_[key] = std::move(info));
+  return ref;
+}
+
+}  // namespace janus::lm

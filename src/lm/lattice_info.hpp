@@ -1,0 +1,53 @@
+// Cached per-dimension lattice data: irredundant paths of both views.
+//
+// The dichotomic search probes many dimension pairs and both the structural
+// check and the SAT encoder need the path lists, so they are enumerated once
+// per (rows, cols) and cached. Lattices whose path count exceeds the cap are
+// marked oversized; callers treat them as "cannot encode" (the same give-up
+// behavior the paper's time limit induces).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lattice/dims.hpp"
+#include "lattice/paths.hpp"
+
+namespace janus::lm {
+
+struct lattice_info {
+  lattice::dims d;
+  bool oversized = false;          ///< more than max_paths in some view
+  std::vector<lattice::path> paths_4tb;   ///< products of the lattice function
+  std::vector<lattice::path> paths_8lr;   ///< products of its dual
+
+  /// Path lengths sorted descending (per view) for the structural check.
+  std::vector<int> lengths_4tb_desc;
+  std::vector<int> lengths_8lr_desc;
+
+  [[nodiscard]] int max_len_4tb() const {
+    return lengths_4tb_desc.empty() ? 0 : lengths_4tb_desc.front();
+  }
+  [[nodiscard]] int max_len_8lr() const {
+    return lengths_8lr_desc.empty() ? 0 : lengths_8lr_desc.front();
+  }
+};
+
+/// Cache keyed by dimensions. Not thread-safe; one per synthesis run.
+class lattice_info_cache {
+ public:
+  explicit lattice_info_cache(std::size_t max_paths = 200'000)
+      : max_paths_(max_paths) {}
+
+  /// Borrowing accessor; the cache owns the entry.
+  const lattice_info& get(const lattice::dims& d);
+
+  [[nodiscard]] std::size_t max_paths() const { return max_paths_; }
+
+ private:
+  std::size_t max_paths_;
+  std::map<std::pair<int, int>, std::unique_ptr<lattice_info>> entries_;
+};
+
+}  // namespace janus::lm

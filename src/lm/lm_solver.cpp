@@ -1,0 +1,96 @@
+#include "lm/lm_solver.hpp"
+
+#include <memory>
+
+#include "lm/structural.hpp"
+#include "util/log.hpp"
+
+namespace janus::lm {
+
+lm_result solve_lm(const target_spec& target, const lattice_info& info,
+                   const lm_options& options, deadline budget) {
+  lm_result result;
+  if (info.oversized) {
+    result.status = lm_status::skipped;
+    return result;
+  }
+  if (!structural_check(target, info)) {
+    result.status = lm_status::unrealizable;
+    return result;
+  }
+
+  stopwatch encode_clock;
+  const std::uint64_t primal_estimate =
+      estimate_encoding_clauses(target, info, /*dual_side=*/false,
+                                options.encode);
+  const std::uint64_t dual_estimate =
+      options.allow_dual_problem
+          ? estimate_encoding_clauses(target, info, /*dual_side=*/true,
+                                      options.encode)
+          : ~std::uint64_t{0};
+  if (primal_estimate > options.max_encoding_clauses &&
+      dual_estimate > options.max_encoding_clauses) {
+    result.status = lm_status::skipped;
+    return result;
+  }
+  std::unique_ptr<lm_encoder> primal;
+  if (primal_estimate <= options.max_encoding_clauses) {
+    primal = std::make_unique<lm_encoder>(target, info, /*dual_side=*/false,
+                                          options.encode);
+  }
+  std::unique_ptr<lm_encoder> dual;
+  if (options.allow_dual_problem &&
+      dual_estimate <= options.max_encoding_clauses) {
+    dual = std::make_unique<lm_encoder>(target, info, /*dual_side=*/true,
+                                        options.encode);
+  }
+  const bool use_dual =
+      dual != nullptr &&
+      (primal == nullptr ||
+       dual->stats().complexity() < primal->stats().complexity());
+  JANUS_CHECK(use_dual || primal != nullptr);
+  const lm_encoder& chosen = use_dual ? *dual : *primal;
+  result.used_dual_problem = use_dual;
+  result.encoding = chosen.stats();
+  result.encode_seconds = encode_clock.seconds();
+
+  JANUS_LOG(debug) << "LM " << info.d.str() << (use_dual ? " (dual)" : "")
+                   << ": " << chosen.stats().num_vars << " vars, "
+                   << chosen.stats().num_clauses << " clauses";
+
+  stopwatch solve_clock;
+  sat::solver s;
+  if (!s.add_cnf(chosen.formula())) {
+    result.status = lm_status::unrealizable;
+    result.solve_seconds = solve_clock.seconds();
+    return result;
+  }
+  s.set_deadline(budget.tightened(options.sat_time_limit_s));
+  if (options.conflict_budget >= 0) {
+    s.set_conflict_budget(options.conflict_budget);
+  }
+  const sat::solve_result verdict = s.solve();
+  result.solve_seconds = solve_clock.seconds();
+
+  switch (verdict) {
+    case sat::solve_result::unsat:
+      result.status = lm_status::unrealizable;
+      break;
+    case sat::solve_result::unknown:
+      result.status = lm_status::unknown;
+      break;
+    case sat::solve_result::sat: {
+      lattice::lattice_mapping mapping = chosen.decode(s);
+      if (options.verify_model) {
+        JANUS_CHECK_MSG(mapping.realizes(target.function()),
+                        "SAT model fails ground-truth verification");
+      }
+      result.mapping = std::move(mapping);
+      result.status = lm_status::realizable;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace janus::lm

@@ -1,0 +1,54 @@
+// LM problem orchestration: structural check → encode both sides → solve the
+// cheaper one under a budget → decode and verify.
+//
+// Mirrors Section III-A end to end: the primal problem (f on 4-connected
+// top–bottom paths) and the dual problem (f^D on 8-connected left–right
+// paths) are both generated; the SAT solver runs on the one with the smaller
+// #vars × #clauses product, under the paper's per-call time limit. A timeout
+// is treated as "not realizable on this lattice" by callers — the designed
+// source of approximation.
+#pragma once
+
+#include <optional>
+
+#include "lm/encoding.hpp"
+#include "util/timer.hpp"
+
+namespace janus::lm {
+
+enum class lm_status : std::uint8_t {
+  realizable,    ///< SAT; `mapping` holds a verified realization
+  unrealizable,  ///< UNSAT (under the active heuristic rules) or structural fail
+  unknown,       ///< budget expired before an answer
+  skipped,       ///< lattice too large to encode (path cap exceeded)
+};
+
+struct lm_options {
+  lm_encode_options encode;
+  double sat_time_limit_s = 1200.0;  // the paper's empirically chosen limit
+  std::int64_t conflict_budget = -1;
+  bool allow_dual_problem = true;
+  bool verify_model = true;  // re-check against the BFS oracle (cheap)
+  /// Candidates whose cheaper side would still exceed this many clauses are
+  /// skipped outright (estimated before construction; bounds memory and
+  /// encode time on wide-input targets).
+  std::uint64_t max_encoding_clauses = 4'000'000;
+};
+
+struct lm_result {
+  lm_status status = lm_status::skipped;
+  std::optional<lattice::lattice_mapping> mapping;
+  bool used_dual_problem = false;
+  lm_encoding_stats encoding;
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Decide (approximately) whether `target` fits the lattice described by
+/// `info`, within `budget`.
+[[nodiscard]] lm_result solve_lm(const target_spec& target,
+                                 const lattice_info& info,
+                                 const lm_options& options,
+                                 deadline budget = deadline::never());
+
+}  // namespace janus::lm

@@ -1,0 +1,190 @@
+#include "lm/reach_encoding.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace janus::lm {
+
+namespace {
+
+using lattice::cell_assign;
+using lattice::dims;
+
+struct reach_build {
+  sat::cnf formula;
+  std::vector<cell_assign> tl;
+  sat::var map_base = 0;
+  int num_cells = 0;
+
+  [[nodiscard]] sat::lit map_lit(int cell, std::size_t j) const {
+    return sat::lit::make(map_base + cell * static_cast<int>(tl.size()) +
+                          static_cast<int>(j));
+  }
+};
+
+}  // namespace
+
+lm_result solve_lm_reachability(const target_spec& target, const dims& d,
+                                const lm_options& options, deadline budget) {
+  lm_result result;
+  stopwatch encode_clock;
+
+  reach_build b;
+  b.num_cells = d.size();
+  b.tl.push_back(cell_assign::zero());
+  b.tl.push_back(cell_assign::one());
+  for (int v = 0; v < target.num_vars(); ++v) {
+    b.tl.push_back(cell_assign::lit(v, false));
+    b.tl.push_back(cell_assign::lit(v, true));
+  }
+  b.map_base = b.formula.new_vars(b.num_cells * static_cast<int>(b.tl.size()));
+  std::vector<sat::lit> group(b.tl.size());
+  for (int cell = 0; cell < b.num_cells; ++cell) {
+    for (std::size_t j = 0; j < b.tl.size(); ++j) {
+      group[j] = b.map_lit(cell, j);
+    }
+    b.formula.exactly_one(group);
+  }
+
+  const int levels = d.size();  // BFS converges within #cells rounds
+  const std::uint64_t entries = target.function().num_minterms();
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    // Cell values at this entry.
+    const sat::var val_base = b.formula.new_vars(b.num_cells);
+    const auto val = [&](int cell) {
+      return sat::lit::make(val_base + cell);
+    };
+    for (int cell = 0; cell < b.num_cells; ++cell) {
+      for (std::size_t j = 0; j < b.tl.size(); ++j) {
+        b.formula.add_binary(~b.map_lit(cell, j),
+                             b.tl[j].eval(e) ? val(cell) : ~val(cell));
+      }
+    }
+
+    // Level 0: reachable = ON and on the top row.
+    std::vector<sat::lit> reach(static_cast<std::size_t>(b.num_cells));
+    for (int c = 0; c < d.cols; ++c) {
+      reach[static_cast<std::size_t>(d.cell(0, c))] = val(d.cell(0, c));
+    }
+    std::vector<bool> defined(static_cast<std::size_t>(b.num_cells), false);
+    for (int c = 0; c < d.cols; ++c) {
+      defined[static_cast<std::size_t>(d.cell(0, c))] = true;
+    }
+
+    // Unroll: reach_k[cell] ⇔ val[cell] ∧ OR(prev self, prev 4-neighbors).
+    for (int k = 1; k <= levels; ++k) {
+      std::vector<sat::lit> next(static_cast<std::size_t>(b.num_cells));
+      std::vector<bool> next_defined(static_cast<std::size_t>(b.num_cells),
+                                     false);
+      for (int rr = 0; rr < d.rows; ++rr) {
+        for (int cc = 0; cc < d.cols; ++cc) {
+          const int cell = d.cell(rr, cc);
+          std::vector<sat::lit> sources;
+          if (defined[static_cast<std::size_t>(cell)]) {
+            sources.push_back(reach[static_cast<std::size_t>(cell)]);
+          }
+          const int nbrs[4][2] = {{rr - 1, cc}, {rr + 1, cc},
+                                  {rr, cc - 1}, {rr, cc + 1}};
+          for (const auto& n : nbrs) {
+            if (n[0] < 0 || n[0] >= d.rows || n[1] < 0 || n[1] >= d.cols) {
+              continue;
+            }
+            const int ncell = d.cell(n[0], n[1]);
+            if (defined[static_cast<std::size_t>(ncell)]) {
+              sources.push_back(reach[static_cast<std::size_t>(ncell)]);
+            }
+          }
+          if (rr == 0) {
+            sources.push_back(val(cell));  // top plate feeds every round
+          }
+          if (sources.empty()) {
+            continue;  // provably unreachable at this depth
+          }
+          const sat::lit rk = sat::lit::make(b.formula.new_var());
+          // rk -> val[cell]; rk -> OR(sources); val & source -> rk.
+          b.formula.add_binary(~rk, val(cell));
+          std::vector<sat::lit> or_clause;
+          or_clause.push_back(~rk);
+          for (const sat::lit s : sources) {
+            or_clause.push_back(s);
+            b.formula.add_ternary(~val(cell), ~s, rk);
+          }
+          b.formula.add_clause(or_clause);
+          next[static_cast<std::size_t>(cell)] = rk;
+          next_defined[static_cast<std::size_t>(cell)] = true;
+        }
+      }
+      reach = std::move(next);
+      defined = std::move(next_defined);
+    }
+
+    // Output constraint on the bottom row at the final level.
+    std::vector<sat::lit> bottom;
+    for (int c = 0; c < d.cols; ++c) {
+      const int cell = d.cell(d.rows - 1, c);
+      if (defined[static_cast<std::size_t>(cell)]) {
+        bottom.push_back(reach[static_cast<std::size_t>(cell)]);
+      }
+    }
+    if (target.function().get(e)) {
+      if (bottom.empty()) {
+        result.status = lm_status::unrealizable;  // no connection possible
+        return result;
+      }
+      b.formula.add_clause(bottom);
+    } else {
+      for (const sat::lit l : bottom) {
+        b.formula.add_unit(~l);
+      }
+    }
+  }
+
+  result.encoding.num_vars = static_cast<std::uint64_t>(b.formula.num_vars());
+  result.encoding.num_clauses = b.formula.num_clauses();
+  result.encode_seconds = encode_clock.seconds();
+
+  stopwatch solve_clock;
+  sat::solver s;
+  if (!s.add_cnf(b.formula)) {
+    result.status = lm_status::unrealizable;
+    result.solve_seconds = solve_clock.seconds();
+    return result;
+  }
+  s.set_deadline(budget.tightened(options.sat_time_limit_s));
+  if (options.conflict_budget >= 0) {
+    s.set_conflict_budget(options.conflict_budget);
+  }
+  const sat::solve_result verdict = s.solve();
+  result.solve_seconds = solve_clock.seconds();
+
+  switch (verdict) {
+    case sat::solve_result::unsat:
+      result.status = lm_status::unrealizable;
+      break;
+    case sat::solve_result::unknown:
+      result.status = lm_status::unknown;
+      break;
+    case sat::solve_result::sat: {
+      lattice::lattice_mapping mapping(d, target.num_vars());
+      for (int cell = 0; cell < b.num_cells; ++cell) {
+        for (std::size_t j = 0; j < b.tl.size(); ++j) {
+          if (s.model_bool(b.map_lit(cell, j).variable())) {
+            mapping.cells()[static_cast<std::size_t>(cell)] = b.tl[j];
+            break;
+          }
+        }
+      }
+      if (options.verify_model) {
+        JANUS_CHECK_MSG(mapping.realizes(target.function()),
+                        "reachability model fails ground-truth verification");
+      }
+      result.mapping = std::move(mapping);
+      result.status = lm_status::realizable;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace janus::lm

@@ -1,0 +1,35 @@
+#include "lm/structural.hpp"
+
+#include <algorithm>
+
+namespace janus::lm {
+
+bool lengths_dominate(const std::vector<int>& lattice_desc,
+                      const bf::cover& target_products) {
+  std::vector<int> need;
+  need.reserve(target_products.num_cubes());
+  for (const bf::cube& c : target_products.cubes()) {
+    need.push_back(c.num_literals());
+  }
+  std::sort(need.rbegin(), need.rend());
+  if (need.size() > lattice_desc.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < need.size(); ++i) {
+    if (lattice_desc[i] < need[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool structural_check(const target_spec& target, const lattice_info& info) {
+  if (info.oversized) {
+    // Too many paths to reason about; never exclude structurally.
+    return true;
+  }
+  return lengths_dominate(info.lengths_4tb_desc, target.sop()) &&
+         lengths_dominate(info.lengths_8lr_desc, target.dual_sop());
+}
+
+}  // namespace janus::lm

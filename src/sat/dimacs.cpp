@@ -1,0 +1,78 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/str.hpp"
+
+namespace janus::sat {
+
+cnf read_dimacs(std::istream& in) {
+  cnf formula;
+  int declared_vars = -1;
+  long declared_clauses = -1;
+  std::vector<lit> current;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == 'c') {
+      continue;
+    }
+    if (trimmed[0] == 'p') {
+      const auto tokens = split_ws(trimmed);
+      JANUS_CHECK_MSG(tokens.size() == 4 && tokens[1] == "cnf",
+                      "malformed DIMACS problem line");
+      declared_vars = std::stoi(tokens[2]);
+      declared_clauses = std::stol(tokens[3]);
+      while (formula.num_vars() < declared_vars) {
+        (void)formula.new_var();
+      }
+      continue;
+    }
+    JANUS_CHECK_MSG(declared_vars >= 0, "clause before DIMACS problem line");
+    for (const auto& token : split_ws(trimmed)) {
+      const int value = std::stoi(token);
+      if (value == 0) {
+        formula.add_clause(current);
+        current.clear();
+        continue;
+      }
+      const var v = std::abs(value) - 1;
+      JANUS_CHECK_MSG(v < declared_vars, "literal exceeds declared var count");
+      current.push_back(lit::make(v, value < 0));
+    }
+  }
+  JANUS_CHECK_MSG(current.empty(), "unterminated clause in DIMACS input");
+  JANUS_CHECK_MSG(declared_clauses < 0 ||
+                      formula.num_clauses() ==
+                          static_cast<std::size_t>(declared_clauses),
+                  "clause count does not match DIMACS header");
+  return formula;
+}
+
+cnf read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const cnf& formula) {
+  out << "p cnf " << formula.num_vars() << ' ' << formula.num_clauses() << '\n';
+  for (std::size_t i = 0; i < formula.num_clauses(); ++i) {
+    for (const lit l : formula.clause(i)) {
+      out << (l.negated() ? -(l.variable() + 1) : (l.variable() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_string(const cnf& formula) {
+  std::ostringstream out;
+  write_dimacs(out, formula);
+  return out.str();
+}
+
+}  // namespace janus::sat

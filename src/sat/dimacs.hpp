@@ -1,0 +1,23 @@
+// DIMACS CNF reader/writer.
+//
+// Lets us dump LM encodings for inspection with external solvers and ingest
+// standard CNF benchmarks in tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sat/cnf.hpp"
+
+namespace janus::sat {
+
+/// Parse DIMACS CNF from a stream. Throws janus::check_error on malformed
+/// input. Variables in the file are 1-based; they map to 0-based vars here.
+[[nodiscard]] cnf read_dimacs(std::istream& in);
+[[nodiscard]] cnf read_dimacs_string(const std::string& text);
+
+/// Write `formula` in DIMACS CNF format.
+void write_dimacs(std::ostream& out, const cnf& formula);
+[[nodiscard]] std::string write_dimacs_string(const cnf& formula);
+
+}  // namespace janus::sat

@@ -1,0 +1,239 @@
+// A CDCL SAT solver in the MiniSat / glucose family.
+//
+// The paper solves each lattice-mapping (LM) instance with glucose 4.1 under a
+// wall-clock limit, treating a timeout as "unrealizable". This solver provides
+// the same contract: solve() returns sat / unsat / unknown, where unknown
+// means a budget (time, conflicts or propagations) expired.
+//
+// Implemented techniques:
+//   * two-literal watching with blocker literals,
+//   * first-UIP conflict analysis with basic (self-subsumption) minimization,
+//   * VSIDS variable activities with phase saving,
+//   * Luby restarts,
+//   * glucose-style learned-clause management (LBD; glue clauses kept),
+//   * top-level simplification and arena garbage collection,
+//   * solving under assumptions (with final-conflict extraction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sat/cnf.hpp"
+#include "sat/types.hpp"
+#include "util/timer.hpp"
+
+namespace janus::sat {
+
+enum class solve_result : std::uint8_t { sat, unsat, unknown };
+
+/// Counters exposed for benchmarking and tests.
+struct solver_stats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t removed_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+/// Tunables; defaults follow MiniSat/glucose conventions.
+struct solver_options {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int restart_base = 100;          // Luby unit, in conflicts
+  int reduce_base = 2000;          // first learned-DB reduction, in conflicts
+  int reduce_increment = 300;      // growth per reduction
+  bool phase_saving = true;
+  bool default_phase = false;      // value picked for never-assigned vars
+};
+
+class solver {
+ public:
+  solver() = default;
+  explicit solver(solver_options options) : options_(options) {}
+
+  solver(const solver&) = delete;
+  solver& operator=(const solver&) = delete;
+
+  /// Allocate a fresh solver variable.
+  var new_var();
+  [[nodiscard]] int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a clause; returns false if the formula became trivially unsat.
+  bool add_clause(std::span<const lit> lits);
+  bool add_clause(std::initializer_list<lit> lits);
+
+  /// Load a whole CNF (allocates variables as needed).
+  bool add_cnf(const cnf& formula);
+
+  /// Budgets: any expired budget makes solve() return `unknown`.
+  void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
+  void set_propagation_budget(std::int64_t props) { propagation_budget_ = props; }
+  void set_deadline(deadline d) { deadline_ = d; }
+
+  [[nodiscard]] solve_result solve() { return solve({}); }
+  [[nodiscard]] solve_result solve(std::span<const lit> assumptions);
+
+  /// Model access after solve() == sat.
+  [[nodiscard]] lbool model_value(var v) const;
+  [[nodiscard]] bool model_bool(var v) const {
+    return model_value(v) == lbool::true_value;
+  }
+  [[nodiscard]] lbool model_value(lit l) const {
+    return apply_sign(model_value(l.variable()), l.negated());
+  }
+
+  /// Subset of the assumptions sufficient for unsatisfiability, after
+  /// solve(assumptions) == unsat (the "final conflict", negated).
+  [[nodiscard]] const std::vector<lit>& conflict_core() const { return conflict_core_; }
+
+  [[nodiscard]] const solver_stats& stats() const { return stats_; }
+  [[nodiscard]] bool okay() const { return ok_; }
+
+  /// Test/debug observation point: invoked with every learnt clause. Sound
+  /// CDCL only derives clauses implied by the formula, so tests register a
+  /// checker here and assert each learnt clause against a known model.
+  std::function<void(std::span<const lit>)> on_learnt;
+
+ private:
+  using clause_ref = std::uint32_t;
+  static constexpr clause_ref cr_undef = 0xffffffffu;
+
+  // --- clause arena -------------------------------------------------------
+  // Layout per clause: header | [activity if learnt] | literal codes.
+  // header = size << 3 | has_extra << 1 | deleted.
+  struct header_view {
+    std::uint32_t raw;
+    [[nodiscard]] std::uint32_t size() const { return raw >> 3; }
+    [[nodiscard]] bool learnt() const { return (raw >> 1) & 1u; }
+    [[nodiscard]] bool deleted() const { return raw & 1u; }
+  };
+
+  clause_ref alloc_clause(std::span<const lit> lits, bool learnt);
+  [[nodiscard]] std::uint32_t clause_size(clause_ref c) const {
+    return arena_[c] >> 3;
+  }
+  [[nodiscard]] bool clause_learnt(clause_ref c) const {
+    return (arena_[c] >> 1) & 1u;
+  }
+  [[nodiscard]] bool clause_deleted(clause_ref c) const { return arena_[c] & 1u; }
+  [[nodiscard]] lit* clause_lits(clause_ref c) {
+    return reinterpret_cast<lit*>(&arena_[c + 1 + (clause_learnt(c) ? 2 : 0)]);
+  }
+  [[nodiscard]] const lit* clause_lits(clause_ref c) const {
+    return reinterpret_cast<const lit*>(
+        &arena_[c + 1 + (clause_learnt(c) ? 2 : 0)]);
+  }
+  [[nodiscard]] float& clause_activity(clause_ref c) {
+    return reinterpret_cast<float&>(arena_[c + 1]);
+  }
+  [[nodiscard]] std::uint32_t& clause_lbd(clause_ref c) { return arena_[c + 2]; }
+  [[nodiscard]] std::uint32_t clause_lbd(clause_ref c) const { return arena_[c + 2]; }
+
+  // --- assignment / trail -------------------------------------------------
+  [[nodiscard]] lbool value(var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] lbool value(lit l) const { return apply_sign(value(l.variable()), l.negated()); }
+  [[nodiscard]] int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  [[nodiscard]] int level(var v) const { return level_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] bool locked(clause_ref c) const;
+
+  void unchecked_enqueue(lit p, clause_ref from);
+  [[nodiscard]] clause_ref propagate();
+  void cancel_until(int target_level);
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  // --- conflict analysis --------------------------------------------------
+  void analyze(clause_ref confl, std::vector<lit>& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  [[nodiscard]] bool literal_redundant(lit p);
+  void analyze_final(lit p);
+  [[nodiscard]] std::uint32_t compute_lbd(std::span<const lit> lits);
+
+  // --- heuristics ---------------------------------------------------------
+  void var_bump_activity(var v);
+  void var_decay_activity() { var_inc_ /= options_.var_decay; }
+  void clause_bump_activity(clause_ref c);
+  void clause_decay_activity() { clause_inc_ /= options_.clause_decay; }
+  [[nodiscard]] lit pick_branch_lit();
+
+  // indexed binary max-heap over variable activities
+  void heap_insert(var v);
+  void heap_update(var v);
+  [[nodiscard]] var heap_pop();
+  [[nodiscard]] bool heap_contains(var v) const {
+    return heap_index_[static_cast<std::size_t>(v)] >= 0;
+  }
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+  [[nodiscard]] bool heap_less(var a, var b) const {
+    return activity_[static_cast<std::size_t>(a)] > activity_[static_cast<std::size_t>(b)];
+  }
+
+  // --- clause DB management ----------------------------------------------
+  void attach_clause(clause_ref c);
+  void detach_clause(clause_ref c);
+  void remove_clause(clause_ref c);
+  void reduce_learnts();
+  void simplify_top_level();
+  void garbage_collect_if_needed();
+  void garbage_collect();
+
+  // --- search -------------------------------------------------------------
+  [[nodiscard]] solve_result search(std::int64_t conflicts_before_restart);
+  [[nodiscard]] bool budget_expired() const;
+  static double luby(double y, int i);
+
+  // --- data ----------------------------------------------------------------
+  solver_options options_;
+  solver_stats stats_;
+  bool ok_ = true;
+
+  std::vector<std::uint32_t> arena_;
+  std::size_t arena_wasted_ = 0;
+  std::vector<clause_ref> clauses_;
+  std::vector<clause_ref> learnts_;
+
+  struct watcher {
+    clause_ref cref;
+    lit blocker;
+  };
+  std::vector<std::vector<watcher>> watches_;  // indexed by lit code
+
+  std::vector<lbool> assigns_;
+  std::vector<std::uint8_t> saved_phase_;
+  std::vector<int> level_;
+  std::vector<clause_ref> reason_;
+  std::vector<lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<var> heap_;
+  std::vector<int> heap_index_;
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<lit> analyze_stack_;
+  std::vector<lit> analyze_to_clear_;
+  std::vector<std::uint64_t> lbd_seen_;
+  std::uint64_t lbd_stamp_ = 0;
+
+  std::vector<lit> assumptions_;
+  std::vector<lit> conflict_core_;
+  std::vector<lbool> model_;
+
+  std::int64_t conflict_budget_ = -1;     // -1: unlimited
+  std::int64_t propagation_budget_ = -1;  // -1: unlimited
+  std::int64_t conflict_limit_abs_ = -1;
+  std::int64_t propagation_limit_abs_ = -1;
+  deadline deadline_{};
+  bool deadline_hit_ = false;
+  std::uint64_t next_reduce_ = 0;
+  int reductions_done_ = 0;
+};
+
+}  // namespace janus::sat

@@ -1,0 +1,81 @@
+// Core SAT types: variables, literals and three-valued logic.
+//
+// Variables are dense 0-based integers. A literal packs (variable, sign) into
+// one int — code = 2*var + sign — so literals index watch lists directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace janus::sat {
+
+using var = std::int32_t;
+
+inline constexpr var var_undef = -1;
+
+/// A propositional literal: a variable or its negation.
+class lit {
+ public:
+  constexpr lit() = default;
+
+  /// Literal over `v`; `negated` selects the complemented phase.
+  static constexpr lit make(var v, bool negated = false) {
+    lit l;
+    l.code_ = (v << 1) | static_cast<std::int32_t>(negated);
+    return l;
+  }
+
+  static constexpr lit from_code(std::int32_t code) {
+    lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] constexpr var variable() const { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const { return (code_ & 1) != 0; }
+  [[nodiscard]] constexpr std::int32_t code() const { return code_; }
+  [[nodiscard]] constexpr bool is_undef() const { return code_ < 0; }
+
+  constexpr lit operator~() const { return from_code(code_ ^ 1); }
+
+  friend constexpr bool operator==(lit a, lit b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(lit a, lit b) { return a.code_ != b.code_; }
+  friend constexpr bool operator<(lit a, lit b) { return a.code_ < b.code_; }
+
+  /// Human-readable form, e.g. "x3" / "~x3".
+  [[nodiscard]] std::string str() const {
+    return (negated() ? "~x" : "x") + std::to_string(variable());
+  }
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+inline constexpr lit lit_undef{};
+
+/// Three-valued logic for partial assignments.
+enum class lbool : std::uint8_t { false_value = 0, true_value = 1, undef = 2 };
+
+inline constexpr lbool to_lbool(bool b) {
+  return b ? lbool::true_value : lbool::false_value;
+}
+
+/// Value of a literal given the value of its variable.
+inline constexpr lbool apply_sign(lbool v, bool negated) {
+  if (v == lbool::undef) {
+    return lbool::undef;
+  }
+  return to_lbool((v == lbool::true_value) != negated);
+}
+
+}  // namespace janus::sat
+
+template <>
+struct std::hash<janus::sat::lit> {
+  std::size_t operator()(janus::sat::lit l) const noexcept {
+    return std::hash<std::int32_t>{}(l.code());
+  }
+};

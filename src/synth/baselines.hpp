@@ -1,0 +1,36 @@
+// The comparison methods of Table II, reimplemented in their published form
+// (see DESIGN.md §4 for the substitution notes).
+//
+//   exact-[6]   — complete per-entry encoding (no heuristic rules, full
+//                 literal set), old bounds (DP/PS/DPS), dichotomic search.
+//                 Exact up to the time limit, like the paper's runs.
+//   approx-[6]  — exact-[6] restricted by the strict product-realization
+//                 rules (every product realized by a dedicated path over its
+//                 own literals only); can miss real solutions.
+//   heuristic-[11] — bounds + a descending local search over "promising"
+//                 candidates that stops at the first failure; does not
+//                 consider all dimension pairs, so it can stop far from the
+//                 optimum (the paper's 5xp1_3 remark).
+//   pcircuit-[9] — decomposition-based: Shannon split on the most balanced
+//                 variable, sub-lattices synthesized independently, composed
+//                 with literal rows and an isolation column.
+#pragma once
+
+#include "synth/janus.hpp"
+
+namespace janus::synth {
+
+/// JANUS options preconfigured for each baseline, derived from `base` (which
+/// carries the budgets).
+[[nodiscard]] janus_options exact6_options(const janus_options& base);
+[[nodiscard]] janus_options approx6_options(const janus_options& base);
+
+/// Run the heuristic method of [11].
+[[nodiscard]] janus_result run_heuristic11(const lm::target_spec& target,
+                                           const janus_options& base);
+
+/// Run the p-circuit-style decomposition method of [9].
+[[nodiscard]] janus_result run_pcircuit9(const lm::target_spec& target,
+                                         const janus_options& base);
+
+}  // namespace janus::synth

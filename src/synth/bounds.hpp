@@ -1,0 +1,66 @@
+// Initial bounds for the lattice-synthesis search — Section III-B.
+//
+// Upper bounds are *constructions*: each method builds a concrete verified
+// lattice realizing the target.
+//   DP   (Altun & Riedel [3]): #pi(f^D) × #pi(f), cell = a literal shared by
+//        the row's dual product and the column's product;
+//   PS   (Gange et al. [6]): δ × (2·#pi(f) − 1), products on columns with
+//        0-isolation columns, 1-fill;
+//   DPS  (Morgul & Altun [11]): (2·#pi(f^D) − 1) × γ, dual products on rows
+//        with 1-isolation rows, 0-fill;
+//   IPS / IDPS (this paper): the improved variants that elide isolation
+//        columns/rows using single-literal products, two-literal placement,
+//        and pairing of larger products on δ×2 (2×γ) blocks.
+// Every construction is re-verified against the target's truth table; an
+// arrangement that does not verify falls back to explicit isolation, so the
+// returned bound is always a real realization.
+//
+// The lower bound is the paper's structural scan: the smallest size s such
+// that some m×n = s factorization passes the structural check on f and f^D.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/mapping.hpp"
+#include "lm/lattice_info.hpp"
+#include "lm/lm_solver.hpp"
+#include "lm/target.hpp"
+
+namespace janus::synth {
+
+/// One verified upper-bound realization.
+struct bound_solution {
+  std::string method;
+  lattice::lattice_mapping mapping;
+
+  [[nodiscard]] int size() const { return mapping.size(); }
+};
+
+/// DP: dual-production construction [3]. Fails only on degenerate targets.
+[[nodiscard]] std::optional<bound_solution> build_dp(const lm::target_spec& t);
+
+/// PS: product-separation construction [6].
+[[nodiscard]] std::optional<bound_solution> build_ps(const lm::target_spec& t);
+
+/// DPS: dual-product-separation construction [11].
+[[nodiscard]] std::optional<bound_solution> build_dps(const lm::target_spec& t);
+
+/// IPS: improved product separation (this paper). `pair_options` controls the
+/// LM probes used by the rule-iii pairing of large products.
+[[nodiscard]] std::optional<bound_solution> build_ips(
+    const lm::target_spec& t, lm::lattice_info_cache& cache,
+    const lm::lm_options& pair_options, deadline budget = deadline::never());
+
+/// IDPS: improved dual product separation (this paper).
+[[nodiscard]] std::optional<bound_solution> build_idps(
+    const lm::target_spec& t, deadline budget = deadline::never());
+
+/// Structural-scan lower bound: smallest s whose factorizations include a
+/// structurally feasible lattice; scans s = 1..max_size.
+[[nodiscard]] int lower_bound_structural(const lm::target_spec& t,
+                                         lm::lattice_info_cache& cache,
+                                         int max_size);
+
+}  // namespace janus::synth

@@ -1,0 +1,320 @@
+#include "synth/janus.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace janus::synth {
+
+using lattice::cell_assign;
+using lattice::dims;
+using lattice::lattice_mapping;
+using lm::target_spec;
+
+std::vector<dims> lattice_candidates(int max_area) {
+  JANUS_CHECK(max_area >= 1);
+  std::vector<dims> all;
+  for (int m = 1; m <= max_area; ++m) {
+    all.push_back(dims{m, max_area / m});
+  }
+  std::vector<dims> maximal;
+  for (const dims& d : all) {
+    bool dominated = false;
+    for (const dims& other : all) {
+      if (other != d && other.rows >= d.rows && other.cols >= d.cols) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated &&
+        std::find(maximal.begin(), maximal.end(), d) == maximal.end()) {
+      maximal.push_back(d);
+    }
+  }
+  return maximal;
+}
+
+janus_synthesizer::janus_synthesizer(janus_options options)
+    : options_(options), cache_(options.max_paths) {}
+
+const bound_solution* janus_synthesizer::bounds_report::best() const {
+  const bound_solution* out = nullptr;
+  for (const bound_solution& b : methods) {
+    if (out == nullptr || b.size() < out->size()) {
+      out = &b;
+    }
+  }
+  return out;
+}
+
+const bound_solution* janus_synthesizer::bounds_report::by_method(
+    const std::string& m) const {
+  for (const bound_solution& b : methods) {
+    if (b.method == m) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
+    const target_spec& target, deadline budget) {
+  bounds_report report;
+  const auto consider = [&](std::optional<bound_solution> sol) {
+    if (sol.has_value()) {
+      JANUS_LOG(info) << target.name() << ": " << sol->method << " bound "
+                      << sol->mapping.grid().str();
+      report.methods.push_back(std::move(*sol));
+    }
+  };
+  if (options_.use_dp) {
+    consider(build_dp(target));
+  }
+  if (options_.use_ps) {
+    consider(build_ps(target));
+  }
+  if (options_.use_dps) {
+    consider(build_dps(target));
+  }
+  if (options_.use_ips) {
+    consider(build_ips(target, cache_, options_.lm, budget));
+  }
+  if (options_.use_idps) {
+    consider(build_idps(target, budget));
+  }
+  if (options_.use_ds) {
+    consider(divide_and_synthesize(target, budget, options_.ds_depth));
+  }
+  const bound_solution* best = report.best();
+  const int scan_limit = best != nullptr ? best->size() : 64;
+  report.lower_bound =
+      options_.use_structural_lb
+          ? lower_bound_structural(target, cache_, scan_limit)
+          : 1;
+  return report;
+}
+
+lm::lm_result janus_synthesizer::probe(const target_spec& target,
+                                       const dims& d, deadline budget,
+                                       std::vector<probe_record>* log) {
+  const auto key = std::make_pair(d.rows, d.cols);
+  const auto it = probe_memo_.find(key);
+  if (it != probe_memo_.end() && it->second.status != lm::lm_status::unknown) {
+    return it->second;
+  }
+  stopwatch clock;
+  lm::lm_result r = lm::solve_lm(target, cache_.get(d), options_.lm, budget);
+  if (log != nullptr) {
+    log->push_back({d, r.status, clock.seconds()});
+  }
+  JANUS_LOG(info) << target.name() << ": probe " << d.str() << " -> "
+                  << static_cast<int>(r.status) << " ("
+                  << format_fixed(clock.seconds(), 2) << "s)";
+  probe_memo_[key] = r;
+  return r;
+}
+
+janus_result janus_synthesizer::run(const target_spec& target) {
+  janus_result result;
+  stopwatch total_clock;
+  probe_memo_.clear();
+  const deadline budget = deadline::in_seconds(options_.time_limit_s);
+
+  // Constant functions need a single switch hard-wired to 0 or 1.
+  if (target.is_constant()) {
+    lattice_mapping m(dims{1, 1}, target.num_vars());
+    m.set(0, 0, target.function().is_one() ? cell_assign::one()
+                                           : cell_assign::zero());
+    result.solution = std::move(m);
+    result.lower_bound = 1;
+    result.old_upper_bound = 1;
+    result.new_upper_bound = 1;
+    result.ub_method = "const";
+    result.seconds = total_clock.seconds();
+    return result;
+  }
+
+  // Step 1: bounds.
+  const bounds_report bounds = compute_bounds(target, budget);
+  const bound_solution* best_bound = bounds.best();
+  JANUS_CHECK_MSG(best_bound != nullptr,
+                  "no upper-bound construction succeeded");
+  int oub = 0;
+  for (const bound_solution& b : bounds.methods) {
+    if (b.method == "DP" || b.method == "PS" || b.method == "DPS") {
+      if (oub == 0 || b.size() < oub) {
+        oub = b.size();
+      }
+    }
+  }
+  result.old_upper_bound = oub == 0 ? best_bound->size() : oub;
+  result.new_upper_bound = best_bound->size();
+  result.ub_method = best_bound->method;
+  result.lower_bound = std::min(bounds.lower_bound, best_bound->size());
+
+  lattice_mapping best = best_bound->mapping;
+
+  // Steps 2–6: dichotomic search.
+  int lo = result.lower_bound;
+  int hi = best.size();
+  while (lo < hi) {
+    if (budget.expired()) {
+      result.hit_time_limit = true;
+      break;
+    }
+    const int mp = (lo + hi) / 2;
+    bool found = false;
+    for (const dims& d : lattice_candidates(mp)) {
+      if (budget.expired()) {
+        result.hit_time_limit = true;
+        break;
+      }
+      const lm::lm_result r = probe(target, d, budget, &result.probes);
+      if (r.status == lm::lm_status::realizable) {
+        JANUS_CHECK(r.mapping.has_value());
+        best = *r.mapping;
+        hi = best.size();
+        found = true;
+        break;
+      }
+    }
+    if (result.hit_time_limit) {
+      break;
+    }
+    if (!found) {
+      lo = mp + 1;
+    }
+  }
+
+  JANUS_CHECK_MSG(best.realizes(target.function()),
+                  "JANUS produced an unverified solution");
+  result.solution = std::move(best);
+  result.seconds = total_clock.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DS — divide and synthesize
+// ---------------------------------------------------------------------------
+
+std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
+    const target_spec& target, deadline budget, int depth) {
+  if (depth <= 0 || target.num_products() < 2 || budget.expired()) {
+    return std::nullopt;
+  }
+  // Step 1: partition the products into g and h, balancing product counts
+  // and literal totals.
+  bf::cover sorted = target.sop();
+  sorted.sort_desc_by_literals();
+  bf::cover g(target.num_vars());
+  bf::cover h(target.num_vars());
+  int g_lits = 0;
+  int h_lits = 0;
+  for (const bf::cube& p : sorted.cubes()) {
+    const bool to_g =
+        (g_lits < h_lits) ||
+        (g_lits == h_lits && g.num_cubes() <= h.num_cubes());
+    if (to_g) {
+      g.add(p);
+      g_lits += p.num_literals();
+    } else {
+      h.add(p);
+      h_lits += p.num_literals();
+    }
+  }
+  if (g.empty() || h.empty()) {
+    return std::nullopt;
+  }
+
+  // Step 2: synthesize the sub-functions with JANUS itself.
+  janus_options child_options = options_;
+  child_options.ds_depth = depth - 1;
+  child_options.use_ds = depth - 1 > 0;
+  child_options.time_limit_s =
+      std::min(budget.remaining_seconds() * 0.35, options_.time_limit_s);
+  const target_spec gt = target_spec::from_cover(
+      g, target.name().empty() ? "" : target.name() + "_g");
+  const target_spec ht = target_spec::from_cover(
+      h, target.name().empty() ? "" : target.name() + "_h");
+  janus_synthesizer child(child_options);
+  const janus_result gr = child.run(gt);
+  const janus_result hr = child.run(ht);
+  if (!gr.solution.has_value() || !hr.solution.has_value()) {
+    return std::nullopt;
+  }
+  lattice_mapping part_g = *gr.solution;
+  lattice_mapping part_h = *hr.solution;
+
+  lattice_mapping combined =
+      concat_with_column(part_g, part_h, cell_assign::zero());
+  if (!combined.realizes(target.function())) {
+    return std::nullopt;  // composition invariant violated (degenerate case)
+  }
+
+  // Step 3: explore alternative realizations with fewer rows.
+  lm::lm_options probe_options = options_.lm;
+  probe_options.sat_time_limit_s =
+      std::min(probe_options.sat_time_limit_s, 20.0);
+  int bc = combined.size();
+  int br = combined.grid().rows;
+  while (br > 2 && !budget.expired()) {
+    const int target_rows = br - 1;
+    bool improved = true;
+    std::optional<lattice_mapping> new_g;
+    std::optional<lattice_mapping> new_h;
+    for (lattice_mapping* part : {&part_g, &part_h}) {
+      const target_spec& spec = (part == &part_g) ? gt : ht;
+      std::optional<lattice_mapping> found;
+      if (part->grid().rows > target_rows) {
+        // Taller part: widen until it fits at the reduced height.
+        for (int k = part->grid().cols;
+             target_rows * k < bc && !budget.expired(); ++k) {
+          const lm::lm_result r = lm::solve_lm(
+              spec, cache_.get(dims{target_rows, k}), probe_options, budget);
+          if (r.status == lm::lm_status::realizable) {
+            found = r.mapping;
+            break;
+          }
+        }
+      } else {
+        // Already-short part: keep it, then try to narrow it.
+        found = part->padded_to_rows(target_rows);
+        for (int k = part->grid().cols - 1; k >= 1 && !budget.expired(); --k) {
+          const lm::lm_result r = lm::solve_lm(
+              spec, cache_.get(dims{target_rows, k}), probe_options, budget);
+          if (r.status != lm::lm_status::realizable) {
+            break;
+          }
+          found = r.mapping;
+        }
+      }
+      if (!found.has_value()) {
+        improved = false;
+        break;
+      }
+      ((part == &part_g) ? new_g : new_h) = std::move(found);
+    }
+    if (!improved) {
+      break;
+    }
+    lattice_mapping candidate =
+        concat_with_column(*new_g, *new_h, cell_assign::zero());
+    if (candidate.size() >= bc ||
+        !candidate.realizes(target.function())) {
+      break;
+    }
+    part_g = std::move(*new_g);
+    part_h = std::move(*new_h);
+    combined = std::move(candidate);
+    bc = combined.size();
+    br = combined.grid().rows;
+  }
+
+  if (!combined.realizes(target.function())) {
+    return std::nullopt;
+  }
+  return bound_solution{"DS", std::move(combined)};
+}
+
+}  // namespace janus::synth

@@ -1,0 +1,109 @@
+// JANUS — the paper's approximate lattice-synthesis algorithm (Section III).
+//
+//   1. Compute the lower bound (structural scan) and the initial upper bound
+//      (best of DP, PS, DPS, IPS, IDPS and DS — each a verified realization).
+//   2. Dichotomic search between them: probe the middle size mp, generate the
+//      maximal dimension pairs with area ≤ mp, and solve one LM problem per
+//      candidate. A SAT answer tightens the upper bound to the found size;
+//      all-UNSAT (or timeout, treated as UNSAT — the approximation) raises
+//      the lower bound to mp + 1.
+//
+// The same engine, reconfigured, provides the Table II baselines
+// (see baselines.hpp) and the DS / JANUS-MF building blocks.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lm/lm_solver.hpp"
+#include "synth/bounds.hpp"
+#include "util/timer.hpp"
+
+namespace janus::synth {
+
+struct janus_options {
+  lm::lm_options lm;                  ///< per-LM-call options (SAT limit etc.)
+  double time_limit_s = 6.0 * 3600.0; ///< overall budget (paper: 6h CPU)
+  std::size_t max_paths = 200'000;    ///< per-lattice path cap
+
+  // Upper-bound methods in play. JANUS uses all six; the exact/approx [6]
+  // baselines use only the first three ("oub" in Table II).
+  bool use_dp = true;
+  bool use_ps = true;
+  bool use_dps = true;
+  bool use_ips = true;
+  bool use_idps = true;
+  bool use_ds = true;
+  int ds_depth = 1;  ///< DS recursion depth on sub-functions
+
+  /// Structural-scan lower bound (Section III-B); otherwise lb = 1.
+  bool use_structural_lb = true;
+};
+
+/// One dichotomic-search probe, for reporting.
+struct probe_record {
+  lattice::dims d;
+  lm::lm_status status;
+  double seconds = 0.0;
+};
+
+struct janus_result {
+  std::optional<lattice::lattice_mapping> solution;  ///< verified
+  int lower_bound = 0;
+  int old_upper_bound = 0;  ///< oub: best of DP/PS/DPS
+  int new_upper_bound = 0;  ///< nub: best of all six methods
+  std::string ub_method;    ///< method that produced nub
+  double seconds = 0.0;
+  bool hit_time_limit = false;
+  std::vector<probe_record> probes;
+
+  [[nodiscard]] int solution_size() const {
+    return solution ? solution->size() : 0;
+  }
+  [[nodiscard]] std::string solution_dims() const {
+    return solution ? solution->grid().str() : "-";
+  }
+};
+
+/// Maximal dimension pairs with area ≤ s (pairs dominated by another pair in
+/// both coordinates are dropped — realizability is monotone in rows and
+/// columns, which tests/lattice property tests verify).
+[[nodiscard]] std::vector<lattice::dims> lattice_candidates(int max_area);
+
+class janus_synthesizer {
+ public:
+  explicit janus_synthesizer(janus_options options = {});
+
+  /// Run the full pipeline on one target.
+  [[nodiscard]] janus_result run(const lm::target_spec& target);
+
+  /// Bounds only (used by benches and by Fig. 4's example).
+  struct bounds_report {
+    int lower_bound = 0;
+    std::vector<bound_solution> methods;  ///< every successful construction
+    [[nodiscard]] const bound_solution* best() const;
+    [[nodiscard]] const bound_solution* by_method(const std::string& m) const;
+  };
+  [[nodiscard]] bounds_report compute_bounds(const lm::target_spec& target,
+                                             deadline budget);
+
+  /// The DS (divide and synthesize) construction — Section III-B.
+  [[nodiscard]] std::optional<bound_solution> divide_and_synthesize(
+      const lm::target_spec& target, deadline budget, int depth);
+
+  [[nodiscard]] const janus_options& options() const { return options_; }
+  [[nodiscard]] lm::lattice_info_cache& cache() { return cache_; }
+
+ private:
+  /// Probe one dimension pair, memoized across the binary search.
+  lm::lm_result probe(const lm::target_spec& target, const lattice::dims& d,
+                      deadline budget, std::vector<probe_record>* log);
+
+  janus_options options_;
+  lm::lattice_info_cache cache_;
+  std::map<std::pair<int, int>, lm::lm_result> probe_memo_;
+};
+
+}  // namespace janus::synth

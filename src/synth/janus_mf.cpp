@@ -1,0 +1,108 @@
+#include "synth/janus_mf.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace janus::synth {
+
+using lattice::cell_assign;
+using lattice::dims;
+using lattice::lattice_mapping;
+using lattice::multi_lattice_mapping;
+using lm::target_spec;
+
+janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
+                             const janus_options& options) {
+  JANUS_CHECK(!targets.empty());
+  janus_mf_result result;
+  stopwatch total_clock;
+  const deadline budget = deadline::in_seconds(options.time_limit_s);
+
+  // Part 1: per-output JANUS, then merge with isolation columns.
+  janus_options per_output = options;
+  per_output.time_limit_s =
+      options.time_limit_s / (2.0 * static_cast<double>(targets.size()));
+  std::vector<lattice_mapping> parts;
+  parts.reserve(targets.size());
+  janus_synthesizer engine(per_output);
+  for (const target_spec& t : targets) {
+    const janus_result r = engine.run(t);
+    JANUS_CHECK(r.solution.has_value());
+    parts.push_back(*r.solution);
+  }
+  result.straightforward = multi_lattice_mapping::merge(parts);
+  result.straightforward_seconds = total_clock.seconds();
+
+  std::vector<bf::truth_table> functions;
+  functions.reserve(targets.size());
+  for (const target_spec& t : targets) {
+    functions.push_back(t.function());
+  }
+  JANUS_CHECK_MSG(result.straightforward.realizes(functions),
+                  "straight-forward merge failed verification");
+
+  // Part 2: try common heights from 2 upward; per output find the narrowest
+  // realization at that height (seeding from the part-1 solution).
+  multi_lattice_mapping best = result.straightforward;
+  lm::lm_options probe_options = options.lm;
+  probe_options.sat_time_limit_s =
+      std::min(probe_options.sat_time_limit_s, 30.0);
+  const int max_rows = result.straightforward.grid().grid().rows;
+  for (int rows = 2; rows < max_rows && !budget.expired(); ++rows) {
+    std::vector<lattice_mapping> fitted;
+    fitted.reserve(targets.size());
+    bool feasible = true;
+    int total_cols = static_cast<int>(targets.size()) - 1;
+    for (std::size_t i = 0; i < targets.size() && feasible; ++i) {
+      const lattice_mapping& part = parts[i];
+      std::optional<lattice_mapping> found;
+      if (part.grid().rows <= rows) {
+        found = part.padded_to_rows(rows);
+        // Try narrowing.
+        for (int k = found->grid().cols - 1; k >= 1 && !budget.expired(); --k) {
+          const lm::lm_result r = lm::solve_lm(
+              targets[i], engine.cache().get(dims{rows, k}), probe_options,
+              budget);
+          if (r.status != lm::lm_status::realizable) {
+            break;
+          }
+          found = r.mapping;
+        }
+      } else {
+        // Shorter than before: widen until it fits.
+        const int max_cols = (part.size() * 2) / rows + 2;
+        for (int k = std::max(1, part.size() / rows);
+             k <= max_cols && !budget.expired(); ++k) {
+          const lm::lm_result r = lm::solve_lm(
+              targets[i], engine.cache().get(dims{rows, k}), probe_options,
+              budget);
+          if (r.status == lm::lm_status::realizable) {
+            found = r.mapping;
+            break;
+          }
+        }
+      }
+      if (!found.has_value()) {
+        feasible = false;
+        break;
+      }
+      total_cols += found->grid().cols;
+      fitted.push_back(std::move(*found));
+    }
+    if (!feasible) {
+      continue;
+    }
+    if (rows * total_cols < best.size()) {
+      multi_lattice_mapping merged = multi_lattice_mapping::merge(fitted);
+      if (merged.realizes(functions) && merged.size() < best.size()) {
+        best = std::move(merged);
+      }
+    }
+  }
+  result.improved = std::move(best);
+  result.total_seconds = total_clock.seconds();
+  return result;
+}
+
+}  // namespace janus::synth

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace janus::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "JANUS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw check_error(os.str());
+}
+
+}  // namespace janus::detail

@@ -1,0 +1,38 @@
+// Lightweight contract checking for the JANUS library.
+//
+// JANUS_CHECK / JANUS_CHECK_MSG express preconditions and invariants that must
+// hold in correct library usage; violations throw janus::check_error so that
+// callers (and tests) can observe them deterministically in every build type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace janus {
+
+/// Thrown when a JANUS_CHECK contract is violated.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace janus
+
+#define JANUS_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::janus::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                   \
+  } while (false)
+
+#define JANUS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::janus::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace janus {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "debug";
+    case log_level::info:  return "info ";
+    case log_level::warn:  return "warn ";
+    case log_level::error: return "error";
+    case log_level::off:   return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+log_level get_log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(log_level level, const std::string& message) {
+  if (level < get_log_level() || message.empty()) {
+    return;
+  }
+  std::fprintf(stderr, "[janus %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace janus

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// JANUS uses seeded RNG in two places: the stat-matched benchmark instance
+// generator (src/instances) and randomized property tests. Determinism across
+// platforms matters for reproducibility, so we use our own splitmix64/
+// xoshiro256** implementation instead of std::mt19937 + distributions (whose
+// outputs are not mandated bit-exactly by the standard for all distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace janus {
+
+/// xoshiro256** seeded via splitmix64; deterministic across platforms.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) — bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace janus

@@ -1,0 +1,26 @@
+// Small string helpers shared by the PLA parser, DIMACS I/O and reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace janus {
+
+/// Split `text` on any of the whitespace characters, dropping empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-width left-aligned / right-aligned cells for table printing.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Format a double with `digits` decimals (locale-independent).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace janus

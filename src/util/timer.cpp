@@ -1,0 +1,38 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace janus {
+
+deadline deadline::in_seconds(double seconds) {
+  deadline d;
+  d.finite_ = true;
+  d.when_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(0.0, seconds)));
+  return d;
+}
+
+bool deadline::expired() const {
+  return finite_ && clock::now() >= when_;
+}
+
+double deadline::remaining_seconds() const {
+  if (!finite_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double rem =
+      std::chrono::duration<double>(when_ - clock::now()).count();
+  return std::max(0.0, rem);
+}
+
+deadline deadline::tightened(double seconds) const {
+  deadline other = deadline::in_seconds(seconds);
+  if (!finite_) {
+    return other;
+  }
+  return other.when_ < when_ ? other : *this;
+}
+
+}  // namespace janus

@@ -1,0 +1,57 @@
+// Wall-clock timing and cooperative deadline budgets.
+//
+// All long-running JANUS components (the SAT solver, the dichotomic search,
+// the bound constructions) take a `deadline` so the whole pipeline honors a
+// single wall-clock budget, mirroring the CPU time limits used in the paper.
+#pragma once
+
+#include <chrono>
+
+namespace janus {
+
+/// Monotonic stopwatch measuring elapsed wall-clock seconds.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch from zero.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A point in time after which cooperative workers should stop.
+///
+/// A default-constructed deadline is infinite (never expires).
+class deadline {
+ public:
+  deadline() = default;
+
+  /// A deadline `seconds` from now; non-positive values expire immediately.
+  static deadline in_seconds(double seconds);
+
+  /// A deadline that never expires.
+  static deadline never() { return deadline{}; }
+
+  [[nodiscard]] bool expired() const;
+
+  /// Seconds remaining (infinity for a never-expiring deadline, >= 0).
+  [[nodiscard]] double remaining_seconds() const;
+
+  /// The earlier of this deadline and `seconds` from now.
+  [[nodiscard]] deadline tightened(double seconds) const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  bool finite_ = false;
+  clock::time_point when_{};
+};
+
+}  // namespace janus

@@ -1,0 +1,220 @@
+// Tests for cubes, covers, the Minato–Morreale ISOP and espresso-lite.
+#include <gtest/gtest.h>
+
+#include "bf/cover.hpp"
+#include "bf/espresso.hpp"
+#include "util/rng.hpp"
+
+namespace janus::bf {
+namespace {
+
+truth_table random_table(rng& r, int n, double density = 0.5) {
+  truth_table t(n);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    t.set(m, r.next_bool(density));
+  }
+  return t;
+}
+
+TEST(Cube, LiteralManipulation) {
+  cube c;
+  EXPECT_TRUE(c.is_one());
+  c.add_literal(0, false).add_literal(2, true);
+  EXPECT_EQ(c.num_literals(), 2);
+  EXPECT_TRUE(c.has_literal(0, false));
+  EXPECT_TRUE(c.has_literal(2, true));
+  EXPECT_FALSE(c.has_literal(2, false));
+  EXPECT_TRUE(c.mentions(2));
+  c.add_literal(2, false);  // flips the polarity
+  EXPECT_TRUE(c.has_literal(2, false));
+  EXPECT_EQ(c.num_literals(), 2);
+  c.drop_variable(2);
+  EXPECT_EQ(c.num_literals(), 1);
+}
+
+TEST(Cube, EvalMatchesDefinition) {
+  cube c;
+  c.add_literal(0, false).add_literal(1, true);  // a & ~b
+  EXPECT_TRUE(c.eval(0b001));
+  EXPECT_FALSE(c.eval(0b011));
+  EXPECT_FALSE(c.eval(0b000));
+  EXPECT_TRUE(c.eval(0b101));
+}
+
+TEST(Cube, SubsumptionIsLiteralSubset) {
+  cube ab = cube{}.add_literal(0, false).add_literal(1, false);
+  cube a = cube{}.add_literal(0, false);
+  EXPECT_TRUE(a.subsumes(ab));
+  EXPECT_FALSE(ab.subsumes(a));
+  EXPECT_TRUE(cube::one().subsumes(a));
+}
+
+TEST(Cube, IntersectionDetectsClash) {
+  cube a = cube{}.add_literal(0, false);
+  cube na = cube{}.add_literal(0, true);
+  bool ok = true;
+  (void)a.intersect(na, ok);
+  EXPECT_FALSE(ok);
+  cube b = cube{}.add_literal(1, false);
+  const cube both = a.intersect(b, ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(both.num_literals(), 2);
+}
+
+TEST(Cube, TruthTableOfProduct) {
+  cube c = cube{}.add_literal(1, false).add_literal(2, true);  // b & ~c
+  const truth_table t = c.to_truth_table(3);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(t.get(m), c.eval(m));
+  }
+}
+
+TEST(Cube, PlaStringRoundTrip) {
+  const cube c = cube::from_pla("1-0");
+  EXPECT_TRUE(c.has_literal(0, false));
+  EXPECT_FALSE(c.mentions(1));
+  EXPECT_TRUE(c.has_literal(2, true));
+  EXPECT_EQ(c.pla_str(3), "1-0");
+  EXPECT_THROW((void)cube::from_pla("1x0"), check_error);
+}
+
+TEST(Cube, PrettyPrinting) {
+  cube c = cube{}.add_literal(0, false).add_literal(1, true);
+  EXPECT_EQ(c.str(4), "ab'");
+  EXPECT_EQ(cube::one().str(4), "1");
+}
+
+TEST(Cover, ParseAndPrint) {
+  const cover c = cover::parse(4, "ab'c + d + 1");
+  ASSERT_EQ(c.num_cubes(), 3u);
+  EXPECT_EQ(c[0].num_literals(), 3);
+  EXPECT_EQ(c[2].num_literals(), 0);
+  EXPECT_EQ(cover(3).str(), "0");
+  EXPECT_THROW((void)cover::parse(2, "abc"), check_error);
+}
+
+TEST(Cover, DegreeAndLiteralCounts) {
+  const cover c = cover::parse(5, "abc + de + a");
+  EXPECT_EQ(c.degree(), 3);
+  EXPECT_EQ(c.min_cube_literals(), 1);
+  EXPECT_EQ(c.num_literals(), 6);
+}
+
+TEST(Cover, EvalMatchesTruthTable) {
+  const cover c = cover::parse(4, "ab + c'd");
+  const truth_table t = c.to_truth_table();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    EXPECT_EQ(c.eval(m), t.get(m));
+  }
+}
+
+TEST(Cover, RemoveAbsorbedDropsSubsumedAndDuplicateCubes) {
+  cover c = cover::parse(3, "ab + a + ab + abc");
+  c.remove_absorbed();
+  ASSERT_EQ(c.num_cubes(), 1u);
+  EXPECT_EQ(c[0].num_literals(), 1);
+}
+
+TEST(Cover, SortIsDeterministic) {
+  cover c = cover::parse(4, "a + abc + bd");
+  c.sort_desc_by_literals();
+  EXPECT_EQ(c[0].num_literals(), 3);
+  EXPECT_EQ(c[2].num_literals(), 1);
+}
+
+TEST(Isop, ConstantFunctions) {
+  EXPECT_TRUE(isop(truth_table(4)).empty());
+  const cover one = isop(truth_table::ones(4));
+  ASSERT_EQ(one.num_cubes(), 1u);
+  EXPECT_TRUE(one[0].is_one());
+}
+
+TEST(Isop, SingleVariable) {
+  const cover c = isop(truth_table::variable(3, 1));
+  ASSERT_EQ(c.num_cubes(), 1u);
+  EXPECT_TRUE(c[0].has_literal(1, false));
+  EXPECT_EQ(c[0].num_literals(), 1);
+}
+
+struct IsopSweep {
+  std::uint64_t seed;
+  int num_vars;
+  double density;
+};
+
+class IsopRandomSweep : public ::testing::TestWithParam<IsopSweep> {};
+
+TEST_P(IsopRandomSweep, CoversExactlyAndIsIrredundantPrime) {
+  const auto p = GetParam();
+  rng r(p.seed);
+  for (int iter = 0; iter < 40; ++iter) {
+    const truth_table f = random_table(r, p.num_vars, p.density);
+    const cover c = isop(f);
+    ASSERT_EQ(c.to_truth_table(), f) << "iter " << iter;
+    EXPECT_TRUE(all_cubes_prime(c, f)) << "iter " << iter;
+    EXPECT_TRUE(is_irredundant(c)) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IsopRandomSweep,
+    ::testing::Values(IsopSweep{21, 3, 0.5}, IsopSweep{22, 4, 0.5},
+                      IsopSweep{23, 5, 0.3}, IsopSweep{24, 5, 0.7},
+                      IsopSweep{25, 6, 0.5}, IsopSweep{26, 7, 0.5}));
+
+TEST(Isop, IncompletelySpecifiedStaysWithinBounds) {
+  rng r(31);
+  for (int iter = 0; iter < 30; ++iter) {
+    const truth_table onset = random_table(r, 5, 0.3);
+    const truth_table dc = random_table(r, 5, 0.3) & ~onset;
+    const cover c = isop(onset, onset | dc);
+    const truth_table got = c.to_truth_table();
+    EXPECT_TRUE(onset.implies(got));
+    EXPECT_TRUE(got.implies(onset | dc));
+  }
+}
+
+TEST(Isop, RejectsInvalidBounds) {
+  const truth_table ones = truth_table::ones(3);
+  const truth_table zeros(3);
+  EXPECT_THROW((void)isop(ones, zeros), check_error);
+}
+
+TEST(Espresso, ProducesValidCoverOfTheFunction) {
+  rng r(41);
+  for (int iter = 0; iter < 25; ++iter) {
+    const truth_table f = random_table(r, 6);
+    const cover c = espresso_lite(f);
+    EXPECT_EQ(c.to_truth_table(), f) << "iter " << iter;
+  }
+}
+
+TEST(Espresso, NeverWorseThanIsop) {
+  rng r(42);
+  for (int iter = 0; iter < 25; ++iter) {
+    const truth_table f = random_table(r, 5);
+    const cover base = isop(f);
+    const cover min = espresso_lite(f);
+    EXPECT_LE(min.num_cubes(), base.num_cubes()) << "iter " << iter;
+  }
+}
+
+TEST(Espresso, HonorsDontCares) {
+  rng r(43);
+  for (int iter = 0; iter < 20; ++iter) {
+    const truth_table onset = random_table(r, 5, 0.25);
+    const truth_table dc = random_table(r, 5, 0.25) & ~onset;
+    const cover c = espresso_lite(onset, dc);
+    const truth_table got = c.to_truth_table();
+    EXPECT_TRUE(onset.implies(got));
+    EXPECT_TRUE(got.implies(onset | dc));
+  }
+}
+
+TEST(Espresso, RejectsOverlappingOnsetAndDc) {
+  const truth_table ones = truth_table::ones(3);
+  EXPECT_THROW((void)espresso_lite(ones, ones), check_error);
+}
+
+}  // namespace
+}  // namespace janus::bf

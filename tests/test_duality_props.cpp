@@ -1,0 +1,150 @@
+// Property tests for the duality theory everything rests on (Altun & Riedel
+// 2012, used throughout Sections II–III):
+//
+//   1. The duality theorem: if an assignment σ makes the 4-connected
+//      top–bottom view compute f, then σ with constants complemented makes
+//      the 8-connected left–right view compute f^D — and vice versa.
+//      (This is why solving the dual LM problem and flipping constants is a
+//      valid decode, and why DPS/IDPS work.)
+//   2. The common-literal lemma: every product of a minimized f shares a
+//      literal (same variable, same polarity) with every product of a
+//      minimized f^D. (This is why the DP construction never needs blanks.)
+#include <gtest/gtest.h>
+
+#include "bf/exact_min.hpp"
+#include "lattice/mapping.hpp"
+#include "lm/target.hpp"
+#include "util/rng.hpp"
+
+namespace janus {
+namespace {
+
+using lattice::cell_assign;
+using lattice::dims;
+using lattice::lattice_mapping;
+
+lattice_mapping random_mapping(rng& r, const dims& d, int num_vars) {
+  lattice_mapping m(d, num_vars);
+  for (auto& cell : m.cells()) {
+    switch (r.next_below(5)) {
+      case 0: cell = cell_assign::zero(); break;
+      case 1: cell = cell_assign::one(); break;
+      default:
+        cell = cell_assign::lit(
+            static_cast<int>(r.next_below(static_cast<std::uint64_t>(num_vars))),
+            r.next_bool());
+    }
+  }
+  return m;
+}
+
+class DualityTheorem : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualityTheorem, FlippedConstantsComputeTheDualOnTheEightView) {
+  rng r(GetParam());
+  for (int iter = 0; iter < 12; ++iter) {
+    const dims d{2 + static_cast<int>(r.next_below(3)),
+                 2 + static_cast<int>(r.next_below(3))};
+    const int num_vars = 3;
+    const lattice_mapping m = random_mapping(r, d, num_vars);
+    // f — what the 4-connected top-bottom view computes with σ.
+    const bf::truth_table f = m.realized_function();
+    // σ' — the same grid with constants complemented.
+    lattice_mapping flipped = m;
+    for (auto& cell : flipped.cells()) {
+      cell = cell.with_constants_flipped();
+    }
+    // The 8-connected left-right view of σ' must compute f^D.
+    bf::truth_table eight_view(num_vars);
+    for (std::uint64_t e = 0; e < eight_view.num_minterms(); ++e) {
+      eight_view.set(e, flipped.eval_dual(e));
+    }
+    EXPECT_EQ(eight_view, f.dual())
+        << d.str() << "\n" << m.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualityTheorem,
+                         ::testing::Values(301u, 302u, 303u, 304u, 305u));
+
+TEST(DualityTheorem, InvolutionOnTheGrid) {
+  // Flipping constants twice restores the original realized function.
+  rng r(310);
+  const lattice_mapping m = random_mapping(r, {3, 4}, 3);
+  lattice_mapping twice = m;
+  for (auto& cell : twice.cells()) {
+    cell = cell.with_constants_flipped().with_constants_flipped();
+  }
+  EXPECT_EQ(twice, m);
+}
+
+class CommonLiteralLemma : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommonLiteralLemma, EveryPrimePairSharesALiteral) {
+  rng r(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    bf::truth_table f(4);
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      f.set(e, r.next_bool());
+    }
+    if (f.is_zero() || f.is_one()) {
+      continue;
+    }
+    const lm::target_spec t = lm::target_spec::from_function(f);
+    for (const bf::cube& p : t.sop().cubes()) {
+      for (const bf::cube& q : t.dual_sop().cubes()) {
+        const std::uint32_t shared =
+            (p.pos_mask() & q.pos_mask()) | (p.neg_mask() & q.neg_mask());
+        EXPECT_NE(shared, 0u)
+            << "no shared literal between " << p.str(4) << " (of f) and "
+            << q.str(4) << " (of f^D), f = " << t.sop().str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommonLiteralLemma,
+                         ::testing::Values(321u, 322u, 323u));
+
+TEST(CommonLiteralLemma, HoldsForAllPrimesNotJustTheMinimumCover) {
+  rng r(331);
+  for (int iter = 0; iter < 8; ++iter) {
+    bf::truth_table f(4);
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      f.set(e, r.next_bool(0.4));
+    }
+    if (f.is_zero() || f.is_one()) {
+      continue;
+    }
+    const auto primes_f = bf::all_primes(f);
+    const auto primes_d = bf::all_primes(f.dual());
+    ASSERT_TRUE(primes_f.has_value());
+    ASSERT_TRUE(primes_d.has_value());
+    for (const bf::cube& p : *primes_f) {
+      for (const bf::cube& q : *primes_d) {
+        const std::uint32_t shared =
+            (p.pos_mask() & q.pos_mask()) | (p.neg_mask() & q.neg_mask());
+        EXPECT_NE(shared, 0u);
+      }
+    }
+  }
+}
+
+TEST(DualCover, DualSopOfTargetEqualsDualFunction) {
+  rng r(341);
+  for (int iter = 0; iter < 10; ++iter) {
+    bf::truth_table f(5);
+    for (std::uint64_t e = 0; e < 32; ++e) {
+      f.set(e, r.next_bool());
+    }
+    if (f.is_zero() || f.is_one()) {
+      continue;
+    }
+    const lm::target_spec t = lm::target_spec::from_function(f);
+    EXPECT_EQ(t.dual_sop().to_truth_table(), f.dual());
+    EXPECT_EQ(t.dual_function().dual(), f);
+  }
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,113 @@
+// Tests for the benchmark instance suites (Table II / Table III stand-ins).
+#include <gtest/gtest.h>
+
+#include "instances/table2.hpp"
+#include "instances/table3.hpp"
+
+namespace janus::instances {
+namespace {
+
+TEST(Table2, HasAll48RowsInPaperOrder) {
+  const auto& rows = table2_rows();
+  ASSERT_EQ(rows.size(), 48u);
+  EXPECT_EQ(rows.front().name, "5xp1_1");
+  EXPECT_EQ(rows.back().name, "newtag_00");
+  for (const auto& row : rows) {
+    EXPECT_GE(row.inputs, 4);
+    EXPECT_LE(row.inputs, 11);
+    EXPECT_GE(row.products, 2);
+    EXPECT_GE(row.degree, 2);
+    EXPECT_LE(row.paper_lb, row.paper_nub);
+    EXPECT_LE(row.paper_nub, row.paper_oub);
+  }
+}
+
+TEST(Table2, LookupByName) {
+  const auto& row = table2_row_by_name("ex5_24");
+  EXPECT_EQ(row.inputs, 8);
+  EXPECT_EQ(row.products, 14);
+  EXPECT_EQ(row.degree, 5);
+  EXPECT_THROW((void)table2_row_by_name("nonsense"), check_error);
+}
+
+TEST(Table2, C17IsReconstructedExactly) {
+  // c17 output 23 = x2·(x3x6)' + (x3x6)'·x7 with (x2,x3,x6,x7) → (a,b,c,d).
+  const auto t = make_table2_instance("c17_01");
+  const bf::truth_table expected =
+      bf::cover::parse(4, "ab' + ac' + b'd + c'd").to_truth_table();
+  EXPECT_EQ(t.function(), expected);
+  EXPECT_EQ(t.num_products(), 4u);
+  EXPECT_EQ(t.degree(), 2);
+}
+
+TEST(Table2, GeneratorIsDeterministic) {
+  const auto a = make_table2_instance("b12_00");
+  const auto b = make_table2_instance("b12_00");
+  EXPECT_EQ(a.function(), b.function());
+}
+
+TEST(Table2, GeneratedInstancesMatchPaperStatistics) {
+  // Spot-check a representative sample (the full sweep runs in the bench).
+  for (const char* name :
+       {"b12_00", "b12_06", "clpl_00", "dc1_03", "misex1_02", "mp2d_03",
+        "ex5_14"}) {
+    instance_stats stats;
+    const auto t = make_table2_instance(table2_row_by_name(name), &stats);
+    const auto& row = table2_row_by_name(name);
+    EXPECT_TRUE(stats.exact_match) << name;
+    EXPECT_EQ(static_cast<int>(t.num_products()), row.products) << name;
+    EXPECT_EQ(t.degree(), row.degree) << name;
+    EXPECT_EQ(t.num_vars(), row.inputs) << name;
+    EXPECT_EQ(static_cast<int>(t.function().support().size()), row.inputs)
+        << name;
+  }
+}
+
+TEST(Table3, RowsArePresent) {
+  const auto& rows = table3_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "bw");
+  EXPECT_EQ(rows[0].outputs, 28);
+  EXPECT_EQ(rows[1].name, "misex1");
+  EXPECT_EQ(rows[2].paper_mf_size, 108);
+}
+
+TEST(Table3, Squar5IsTheRealSquaringFunction) {
+  const auto outputs = make_table3_instance("squar5");
+  ASSERT_EQ(outputs.size(), 8u);
+  for (std::uint64_t in = 0; in < 32; ++in) {
+    const std::uint64_t square = in * in;
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(outputs[static_cast<std::size_t>(j)].function().get(in),
+                ((square >> (j + 2)) & 1) != 0)
+          << "in=" << in << " bit=" << j + 2;
+    }
+  }
+}
+
+TEST(Table3, SyntheticSuitesHaveTheDeclaredShape) {
+  const auto bw = make_table3_instance("bw");
+  ASSERT_EQ(bw.size(), 28u);
+  for (const auto& t : bw) {
+    EXPECT_EQ(t.num_vars(), 5);
+    EXPECT_FALSE(t.is_constant());
+  }
+  const auto misex1 = make_table3_instance("misex1");
+  ASSERT_EQ(misex1.size(), 7u);
+  for (const auto& t : misex1) {
+    EXPECT_EQ(t.num_vars(), 8);
+    EXPECT_FALSE(t.is_constant());
+  }
+  EXPECT_THROW((void)make_table3_instance("nope"), check_error);
+}
+
+TEST(Table3, GeneratorIsDeterministic) {
+  const auto a = make_table3_instance("bw");
+  const auto b = make_table3_instance("bw");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].function(), b[i].function());
+  }
+}
+
+}  // namespace
+}  // namespace janus::instances

@@ -1,0 +1,244 @@
+// Tests for the LM pipeline: structural check, the paper's path encoding, the
+// reachability encoding, dual-problem equivalence, and the designed
+// approximation behavior of the degree rules.
+#include <gtest/gtest.h>
+
+#include "lm/lm_solver.hpp"
+#include "lm/reach_encoding.hpp"
+#include "lm/structural.hpp"
+
+namespace janus::lm {
+namespace {
+
+using lattice::dims;
+
+lm_options complete_options() {
+  lm_options o;
+  o.encode.use_degree_rules = false;
+  o.encode.tl_isop_literals_only = false;
+  return o;
+}
+
+TEST(TargetSpec, StatisticsOfTheFig1Function) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'", "fig1");
+  EXPECT_EQ(t.num_vars(), 4);
+  EXPECT_EQ(t.num_products(), 2u);
+  EXPECT_EQ(t.degree(), 4);
+  EXPECT_EQ(t.dual_sop().to_truth_table(), t.function().dual());
+  EXPECT_FALSE(t.is_constant());
+  const target_spec d = t.dual_spec();
+  EXPECT_EQ(d.function(), t.dual_function());
+  EXPECT_EQ(d.dual_function(), t.function());
+}
+
+TEST(TargetSpec, ConstantsAreFlagged) {
+  EXPECT_TRUE(target_spec::from_function(bf::truth_table(3)).is_constant());
+  EXPECT_TRUE(
+      target_spec::from_function(bf::truth_table::ones(3)).is_constant());
+}
+
+TEST(Structural, LengthDomination) {
+  // Paths of lengths 4,3,3 dominate products of lengths 3,3 but not 4,4.
+  const std::vector<int> lattice_desc = {4, 3, 3};
+  EXPECT_TRUE(lengths_dominate(lattice_desc, bf::cover::parse(4, "abc + bcd")));
+  EXPECT_FALSE(
+      lengths_dominate(lattice_desc, bf::cover::parse(4, "abcd + a'b'c'd'")));
+  EXPECT_FALSE(lengths_dominate(
+      lattice_desc, bf::cover::parse(4, "ab + cd + a'b' + c'd'")));  // count
+}
+
+TEST(Structural, PaperRejectionExamples) {
+  // Section III-A: f = abcd + (conjugate) cannot fit 8×1 (too few products)
+  // nor 2×4 (products too short).
+  const target_spec t = target_spec::parse(4, "abcd + a'b'c'd'");
+  lattice_info_cache cache;
+  EXPECT_FALSE(structural_check(t, cache.get({8, 1})));
+  EXPECT_FALSE(structural_check(t, cache.get({2, 4})));
+  EXPECT_TRUE(structural_check(t, cache.get({4, 2})));
+}
+
+TEST(LmSolver, Fig1RealizationsAndRejections) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'", "fig1");
+  lattice_info_cache cache;
+  lm_options opt;
+  // Realizable on 3×3 (the paper's Fig. 1c) and on the minimal 4×2 (Fig. 1d).
+  EXPECT_EQ(solve_lm(t, cache.get({3, 3}), opt).status, lm_status::realizable);
+  const lm_result min = solve_lm(t, cache.get({4, 2}), opt);
+  ASSERT_EQ(min.status, lm_status::realizable);
+  ASSERT_TRUE(min.mapping.has_value());
+  EXPECT_TRUE(min.mapping->realizes(t.function()));
+  // Unrealizable on every size-<8 lattice and on 2×4.
+  for (const dims d : {dims{2, 4}, dims{3, 2}, dims{2, 3}, dims{7, 1}, dims{1, 7}}) {
+    EXPECT_EQ(solve_lm(t, cache.get(d), opt).status, lm_status::unrealizable)
+        << d.str();
+  }
+}
+
+TEST(LmSolver, SolutionsAreOracleVerified) {
+  const target_spec t = target_spec::parse(3, "ab + c");
+  lattice_info_cache cache;
+  lm_options opt;
+  const lm_result r = solve_lm(t, cache.get({2, 2}), opt);
+  ASSERT_EQ(r.status, lm_status::realizable);
+  EXPECT_TRUE(r.mapping->realizes(t.function()));
+}
+
+TEST(LmSolver, EncodingStatisticsAreReported) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  const lm_result r = solve_lm(t, cache.get({3, 3}), complete_options());
+  EXPECT_GT(r.encoding.num_vars, 0u);
+  EXPECT_GT(r.encoding.num_clauses, 0u);
+  EXPECT_GE(r.solve_seconds, 0.0);
+}
+
+TEST(LmSolver, TimeBudgetYieldsUnknown) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  lm_options opt;
+  opt.conflict_budget = 0;
+  const lm_result r = solve_lm(t, cache.get({3, 3}), opt);
+  EXPECT_EQ(r.status, lm_status::unknown);
+}
+
+TEST(LmSolver, OversizedLatticeIsSkipped) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache tiny_cache(/*max_paths=*/4);
+  lm_options opt;
+  const lm_result r = solve_lm(t, tiny_cache.get({4, 4}), opt);
+  EXPECT_EQ(r.status, lm_status::skipped);
+}
+
+/// Exhaustive 3-variable sweep: the paper's path encoding (complete settings)
+/// and the independent reachability encoding must agree on every function and
+/// lattice, and every SAT answer must verify.
+class EncodingAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingAgreement, PathAndReachabilityAgree) {
+  const int block = GetParam();
+  const lm_options opt = complete_options();
+  lattice_info_cache cache;
+  for (int bits = block * 64 + 1; bits < (block + 1) * 64 && bits < 255;
+       ++bits) {
+    bf::truth_table f(3);
+    for (int m = 0; m < 8; ++m) {
+      f.set(static_cast<std::uint64_t>(m), ((bits >> m) & 1) != 0);
+    }
+    if (f.is_zero() || f.is_one()) {
+      continue;
+    }
+    const target_spec t = target_spec::from_function(f);
+    for (const dims d : {dims{2, 2}, dims{3, 2}, dims{2, 3}, dims{3, 3}}) {
+      const lm_result a = solve_lm(t, cache.get(d), opt);
+      const lm_result b = solve_lm_reachability(t, d, opt);
+      ASSERT_EQ(a.status, b.status)
+          << "f=" << f.to_binary_string() << " on " << d.str();
+      if (a.status == lm_status::realizable) {
+        EXPECT_TRUE(a.mapping->realizes(f));
+        EXPECT_TRUE(b.mapping->realizes(f));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, EncodingAgreement, ::testing::Range(0, 4));
+
+/// The dual problem (f^D via 8-connected paths) must be equisatisfiable with
+/// the primal, and its decoded mapping (constants flipped) must realize f.
+TEST(LmSolver, DualProblemEquivalence) {
+  lattice_info_cache cache;
+  lm_options primal_only = complete_options();
+  primal_only.allow_dual_problem = false;
+  for (const char* text :
+       {"ab + c", "abc + a'b'", "ab + b'c + ac'", "abcd + a'b'cd'",
+        "ab' + cd'"}) {
+    const target_spec t = target_spec::parse(4, text);
+    for (const dims d : {dims{2, 3}, dims{3, 3}, dims{3, 4}}) {
+      const lm_result primal = solve_lm(t, cache.get(d), primal_only);
+      // Force the dual problem by posing the dual target on the transposed
+      // semantics: build the encoder for the dual side directly.
+      const lattice_info& info = cache.get(d);
+      lm_encode_options eo = primal_only.encode;
+      const lm_encoder dual_encoder(t, info, /*dual_side=*/true, eo);
+      sat::solver s;
+      ASSERT_TRUE(s.add_cnf(dual_encoder.formula()) || true);
+      const sat::solve_result verdict = s.solve();
+      ASSERT_NE(verdict, sat::solve_result::unknown);
+      EXPECT_EQ(verdict == sat::solve_result::sat,
+                primal.status == lm_status::realizable)
+          << text << " on " << d.str();
+      if (verdict == sat::solve_result::sat) {
+        const auto mapping = dual_encoder.decode(s);
+        EXPECT_TRUE(mapping.realizes(t.function()))
+            << "dual decode failed for " << text << " on " << d.str();
+      }
+    }
+  }
+}
+
+/// The degree rules are a *designed approximation*: for the 3-input
+/// not-all-equal function (whose minimum ISOP has 3 products but whose
+/// Minato ISOP has 4), they must not cause false UNSAT now that the exact
+/// minimizer provides the minimum cover.
+TEST(LmSolver, DegreeRulesWithMinimumCoverStaySoundOnNae) {
+  const target_spec t = target_spec::parse(3, "ab' + ac' + a'b + a'c");
+  EXPECT_EQ(t.num_products(), 3u);  // exact minimizer found the 3-cube cover
+  lattice_info_cache cache;
+  lm_options with_rules;  // defaults: degree rules on
+  const lm_result r = solve_lm(t, cache.get({2, 3}), with_rules);
+  EXPECT_EQ(r.status, lm_status::realizable);
+}
+
+TEST(LmSolver, StrictRulesCanRejectRealizableInstances) {
+  // approx-[6] behavior: strict product realization may say UNSAT where the
+  // complete encoding says SAT. Find one such case in a tiny sweep and also
+  // confirm strict never claims SAT on an unrealizable instance.
+  lattice_info_cache cache;
+  lm_options strict = complete_options();
+  strict.encode.strict_product_rules = true;
+  const lm_options complete = complete_options();
+  int strict_rejections = 0;
+  for (int bits = 1; bits < 255; ++bits) {
+    bf::truth_table f(3);
+    for (int m = 0; m < 8; ++m) {
+      f.set(static_cast<std::uint64_t>(m), ((bits >> m) & 1) != 0);
+    }
+    if (f.is_zero() || f.is_one()) {
+      continue;
+    }
+    const target_spec t = target_spec::from_function(f);
+    const dims d{3, 3};
+    const lm_result a = solve_lm(t, cache.get(d), strict);
+    const lm_result b = solve_lm(t, cache.get(d), complete);
+    if (a.status == lm_status::realizable) {
+      EXPECT_EQ(b.status, lm_status::realizable);
+      EXPECT_TRUE(a.mapping->realizes(f));
+    } else if (b.status == lm_status::realizable) {
+      ++strict_rejections;
+    }
+  }
+  EXPECT_GT(strict_rejections, 0)
+      << "strict rules should be a real restriction";
+}
+
+TEST(ReachEncoding, AgreesOnDegenerateLattices) {
+  const target_spec t = target_spec::parse(2, "ab");
+  lm_options opt = complete_options();
+  EXPECT_EQ(solve_lm_reachability(t, {2, 1}, opt).status,
+            lm_status::realizable);
+  EXPECT_EQ(solve_lm_reachability(t, {1, 1}, opt).status,
+            lm_status::unrealizable);
+  const target_spec s = target_spec::parse(2, "a + b");
+  EXPECT_EQ(solve_lm_reachability(s, {1, 2}, opt).status,
+            lm_status::realizable);
+}
+
+TEST(OnsetEntries, ListsMintermsWhereTheFunctionIsOne) {
+  const bf::truth_table f = bf::cover::parse(2, "ab").to_truth_table();
+  const auto entries = onset_entries(f);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], 3u);
+}
+
+}  // namespace
+}  // namespace janus::lm

@@ -1,0 +1,120 @@
+// Tests for the LM solver's scaling guards: the lattice-info cache, the
+// a-priori encoding-size estimate, and the clause-cap skip path.
+#include <gtest/gtest.h>
+
+#include "lm/encoding.hpp"
+#include "lm/lm_solver.hpp"
+
+namespace janus::lm {
+namespace {
+
+using lattice::dims;
+
+TEST(LatticeInfoCache, ReturnsStableCachedEntries) {
+  lattice_info_cache cache;
+  const lattice_info& a = cache.get({3, 3});
+  const lattice_info& b = cache.get({3, 3});
+  EXPECT_EQ(&a, &b);  // same entry, not a copy
+  EXPECT_EQ(a.paths_4tb.size(), 9u);
+  EXPECT_EQ(a.paths_8lr.size(), 17u);
+  EXPECT_FALSE(a.oversized);
+}
+
+TEST(LatticeInfoCache, LengthsAreSortedDescending) {
+  lattice_info_cache cache;
+  const lattice_info& info = cache.get({4, 4});
+  ASSERT_FALSE(info.lengths_4tb_desc.empty());
+  EXPECT_TRUE(std::is_sorted(info.lengths_4tb_desc.rbegin(),
+                             info.lengths_4tb_desc.rend()));
+  EXPECT_EQ(info.max_len_4tb(), info.lengths_4tb_desc.front());
+  EXPECT_EQ(info.lengths_4tb_desc.size(), info.paths_4tb.size());
+}
+
+TEST(LatticeInfoCache, OversizedLatticesAreFlagged) {
+  lattice_info_cache tiny(/*max_paths=*/8);
+  const lattice_info& info = tiny.get({4, 4});  // 36 paths > 8
+  EXPECT_TRUE(info.oversized);
+  EXPECT_TRUE(info.paths_4tb.empty());
+}
+
+TEST(EncodingEstimate, TracksTheRealClauseCountWithinTwofold) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  for (const dims d : {dims{3, 3}, dims{4, 2}, dims{2, 4}}) {
+    const lattice_info& info = cache.get(d);
+    for (const bool dual : {false, true}) {
+      lm_encode_options o;
+      o.tl_isop_literals_only = false;  // match the estimator's TL bound
+      const std::uint64_t estimate =
+          estimate_encoding_clauses(t, info, dual, o);
+      const lm_encoder enc(t, info, dual, o);
+      const std::uint64_t actual = enc.stats().num_clauses;
+      EXPECT_GE(estimate * 2, actual) << d.str() << " dual=" << dual;
+      EXPECT_LE(estimate, actual * 4) << d.str() << " dual=" << dual;
+    }
+  }
+}
+
+TEST(EncodingEstimate, GrowsWithLatticeSize) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  const lm_encode_options o;
+  const std::uint64_t small =
+      estimate_encoding_clauses(t, cache.get({2, 2}), false, o);
+  const std::uint64_t large =
+      estimate_encoding_clauses(t, cache.get({4, 4}), false, o);
+  EXPECT_LT(small, large);
+}
+
+TEST(LmSolver, ClauseCapSkipsInsteadOfBuilding) {
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  lm_options o;
+  o.max_encoding_clauses = 10;  // nothing fits
+  const lm_result r = solve_lm(t, cache.get({3, 3}), o);
+  EXPECT_EQ(r.status, lm_status::skipped);
+}
+
+TEST(LmSolver, ClauseCapFallsBackToTheCheaperSide) {
+  // With a cap between the two sides' estimates, the solver must still run
+  // using whichever side fits.
+  const target_spec t = target_spec::parse(4, "abcd + a'b'cd'");
+  lattice_info_cache cache;
+  const lattice_info& info = cache.get({3, 3});
+  lm_encode_options eo;
+  const std::uint64_t primal = estimate_encoding_clauses(t, info, false, eo);
+  const std::uint64_t dual = estimate_encoding_clauses(t, info, true, eo);
+  lm_options o;
+  o.encode = eo;
+  o.max_encoding_clauses = std::max(primal, dual);  // both or one fit
+  const lm_result r = solve_lm(t, info, o);
+  EXPECT_EQ(r.status, lm_status::realizable);
+  EXPECT_TRUE(r.mapping->realizes(t.function()));
+}
+
+TEST(LmSolver, WideInputTargetsStayBounded) {
+  // An 8-input target on a mid-size lattice: the estimate-driven cap must
+  // keep the encoding in the configured budget or skip — never blow up.
+  bf::cover c(8);
+  bf::cube p1;
+  bf::cube p2;
+  for (int v = 0; v < 8; ++v) {
+    p1.add_literal(v, false);
+    p2.add_literal(v, v % 2 == 0);
+  }
+  c.add(p1);
+  c.add(p2);
+  const target_spec t = target_spec::from_cover(c);
+  lattice_info_cache cache;
+  lm_options o;
+  o.max_encoding_clauses = 200'000;
+  o.sat_time_limit_s = 1.0;
+  o.conflict_budget = 5000;
+  const lm_result r = solve_lm(t, cache.get({4, 6}), o);
+  if (r.status != lm_status::skipped) {
+    EXPECT_LE(r.encoding.num_clauses, 200'000u);
+  }
+}
+
+}  // namespace
+}  // namespace janus::lm

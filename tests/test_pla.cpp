@@ -1,0 +1,93 @@
+// Tests for the PLA front-end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bf/pla.hpp"
+
+namespace janus::bf {
+namespace {
+
+constexpr const char* kSample = R"(# two-output sample
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 11
+--1 0-
+.e
+)";
+
+TEST(Pla, ParsesHeaderAndRows) {
+  const pla_file f = read_pla_string(kSample);
+  EXPECT_EQ(f.num_inputs, 3);
+  EXPECT_EQ(f.num_outputs, 2);
+  ASSERT_EQ(f.rows.size(), 3u);
+  EXPECT_EQ(f.input_names.size(), 3u);
+  EXPECT_EQ(f.output_names[1], "g");
+  EXPECT_EQ(f.rows[0].input.pla_str(3), "1-0");
+  EXPECT_EQ(f.rows[2].outputs, "0-");
+}
+
+TEST(Pla, OnsetCoverSelectsMatchingRows) {
+  const pla_file f = read_pla_string(kSample);
+  const cover f0 = f.onset_cover(0);
+  EXPECT_EQ(f0.num_cubes(), 2u);
+  const cover f1 = f.onset_cover(1);
+  EXPECT_EQ(f1.num_cubes(), 1u);
+  const cover dc1 = f.dc_cover(1);
+  EXPECT_EQ(dc1.num_cubes(), 1u);
+}
+
+TEST(Pla, OnsetTruthTable) {
+  const pla_file f = read_pla_string(kSample);
+  const truth_table t = f.onset(0);
+  // f = ac' + a'bc — check a few points (minterm bit i = var i).
+  EXPECT_TRUE(t.get(0b001));   // a=1,b=0,c=0 → ac'
+  EXPECT_TRUE(t.get(0b110));   // a=0,b=1,c=1 → a'bc
+  EXPECT_FALSE(t.get(0b101));  // a=1,c=1
+  EXPECT_EQ(f.all_onsets().size(), 2u);
+}
+
+TEST(Pla, WriteThenReadRoundTrips) {
+  const pla_file f = read_pla_string(kSample);
+  std::ostringstream out;
+  write_pla(out, f);
+  const pla_file g = read_pla_string(out.str());
+  EXPECT_EQ(g.num_inputs, f.num_inputs);
+  EXPECT_EQ(g.num_outputs, f.num_outputs);
+  ASSERT_EQ(g.rows.size(), f.rows.size());
+  for (std::size_t i = 0; i < f.rows.size(); ++i) {
+    EXPECT_EQ(g.rows[i].input, f.rows[i].input);
+    EXPECT_EQ(g.rows[i].outputs, f.rows[i].outputs);
+  }
+}
+
+TEST(Pla, ToPlaFromCovers) {
+  const std::vector<cover> outputs = {cover::parse(3, "ab + c"),
+                                      cover::parse(3, "a'")};
+  const pla_file f = to_pla(outputs);
+  EXPECT_EQ(f.num_inputs, 3);
+  EXPECT_EQ(f.num_outputs, 2);
+  EXPECT_EQ(f.rows.size(), 3u);
+  EXPECT_EQ(f.onset(0), outputs[0].to_truth_table());
+  EXPECT_EQ(f.onset(1), outputs[1].to_truth_table());
+}
+
+TEST(Pla, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_pla_string("10 1\n"), check_error);           // no header
+  EXPECT_THROW((void)read_pla_string(".i 2\n.o 1\n101 1\n"), check_error);  // width
+  EXPECT_THROW((void)read_pla_string(".i 2\n.o 1\n10 11\n"), check_error);  // width
+  EXPECT_THROW((void)read_pla_string(".i 0\n.o 1\n"), check_error);
+}
+
+TEST(Pla, IgnoresCommentsAndType) {
+  const pla_file f = read_pla_string(
+      ".i 2 # inputs\n.o 1\n.type fr\n11 1 # a row\n.end\n");
+  EXPECT_EQ(f.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace janus::bf

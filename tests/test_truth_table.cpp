@@ -1,0 +1,170 @@
+// Tests for the truth-table kernel: operators, cofactors, duality, support.
+#include <gtest/gtest.h>
+
+#include "bf/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace janus::bf {
+namespace {
+
+truth_table random_table(rng& r, int n) {
+  truth_table t(n);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    t.set(m, r.next_bool());
+  }
+  return t;
+}
+
+TEST(TruthTable, ZerosAndOnes) {
+  const truth_table z(3);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_one());
+  EXPECT_EQ(z.count_ones(), 0u);
+  const truth_table o = truth_table::ones(3);
+  EXPECT_TRUE(o.is_one());
+  EXPECT_EQ(o.count_ones(), 8u);
+}
+
+TEST(TruthTable, VariableProjection) {
+  for (int n = 1; n <= 8; ++n) {
+    for (int v = 0; v < n; ++v) {
+      const truth_table t = truth_table::variable(n, v);
+      for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+        EXPECT_EQ(t.get(m), ((m >> v) & 1) != 0) << n << " " << v << " " << m;
+      }
+    }
+  }
+}
+
+TEST(TruthTable, SetAndGet) {
+  truth_table t(7);
+  t.set(100, true);
+  EXPECT_TRUE(t.get(100));
+  EXPECT_EQ(t.count_ones(), 1u);
+  t.set(100, false);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(TruthTable, OperatorsMatchPointwiseDefinition) {
+  rng r(5);
+  for (int n : {2, 5, 7}) {
+    const truth_table a = random_table(r, n);
+    const truth_table b = random_table(r, n);
+    const truth_table conj = a & b;
+    const truth_table disj = a | b;
+    const truth_table exor = a ^ b;
+    const truth_table na = ~a;
+    for (std::uint64_t m = 0; m < a.num_minterms(); ++m) {
+      EXPECT_EQ(conj.get(m), a.get(m) && b.get(m));
+      EXPECT_EQ(disj.get(m), a.get(m) || b.get(m));
+      EXPECT_EQ(exor.get(m), a.get(m) != b.get(m));
+      EXPECT_EQ(na.get(m), !a.get(m));
+    }
+  }
+}
+
+TEST(TruthTable, ComplementOfOnesIsZeros) {
+  for (int n : {0, 1, 3, 6, 8}) {
+    EXPECT_TRUE((~truth_table::ones(n)).is_zero()) << n;
+  }
+}
+
+TEST(TruthTable, ImpliesIsPointwiseLeq) {
+  rng r(6);
+  const truth_table a = random_table(r, 5);
+  EXPECT_TRUE(a.implies(a));
+  EXPECT_TRUE(truth_table(5).implies(a));
+  EXPECT_TRUE(a.implies(truth_table::ones(5)));
+  EXPECT_EQ(a.implies(~a), a.is_zero());
+}
+
+TEST(TruthTable, CofactorFixesVariable) {
+  rng r(7);
+  const truth_table a = random_table(r, 6);
+  for (int v = 0; v < 6; ++v) {
+    const truth_table c0 = a.cofactor(v, false);
+    const truth_table c1 = a.cofactor(v, true);
+    EXPECT_TRUE(c0.independent_of(v));
+    EXPECT_TRUE(c1.independent_of(v));
+    // Shannon expansion reconstructs the function.
+    const truth_table xv = truth_table::variable(6, v);
+    EXPECT_EQ((~xv & c0) | (xv & c1), a);
+  }
+}
+
+TEST(TruthTable, SupportDetectsRealDependencies) {
+  truth_table t(4);
+  // f = x0 & ~x2 — depends on vars 0 and 2 only.
+  const truth_table f =
+      truth_table::variable(4, 0) & ~truth_table::variable(4, 2);
+  t = f;
+  const auto s = t.support();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 2);
+}
+
+TEST(TruthTable, DualOfDualIsIdentity) {
+  rng r(8);
+  for (int n : {1, 3, 5, 8}) {
+    const truth_table a = random_table(r, n);
+    EXPECT_EQ(a.dual().dual(), a) << n;
+  }
+}
+
+TEST(TruthTable, DualDefinitionHolds) {
+  rng r(9);
+  const truth_table a = random_table(r, 6);
+  const truth_table d = a.dual();
+  const std::uint64_t mask = a.num_minterms() - 1;
+  for (std::uint64_t m = 0; m < a.num_minterms(); ++m) {
+    EXPECT_EQ(d.get(m), !a.get(~m & mask));
+  }
+}
+
+TEST(TruthTable, DualExchangesAndOr) {
+  // (f & g)^D == f^D | g^D.
+  rng r(10);
+  const truth_table f = random_table(r, 5);
+  const truth_table g = random_table(r, 5);
+  EXPECT_EQ((f & g).dual(), f.dual() | g.dual());
+  EXPECT_EQ((f | g).dual(), f.dual() & g.dual());
+}
+
+TEST(TruthTable, BinaryStringRoundTrip) {
+  rng r(11);
+  const truth_table a = random_table(r, 4);
+  EXPECT_EQ(truth_table::from_binary_string(a.to_binary_string()), a);
+  EXPECT_THROW((void)truth_table::from_binary_string("011"), check_error);
+  EXPECT_THROW((void)truth_table::from_binary_string("0a"), check_error);
+}
+
+TEST(TruthTable, HashDistinguishesFunctions) {
+  rng r(12);
+  const truth_table a = random_table(r, 6);
+  truth_table b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(0, !b.get(0));
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TruthTable, MixedSizeOperationsRejected) {
+  const truth_table a(3);
+  const truth_table b(4);
+  EXPECT_THROW((void)(a & b), check_error);
+  EXPECT_THROW((void)a.implies(b), check_error);
+}
+
+TEST(TruthTable, LargeTablesWork) {
+  // Cross the single-word boundary (n > 6).
+  truth_table t(10);
+  t.set(1023, true);
+  t.set(0, true);
+  EXPECT_EQ(t.count_ones(), 2u);
+  EXPECT_TRUE(t.get(1023));
+  const truth_table d = t.dual();
+  EXPECT_EQ(d.count_ones(), 1022u);
+}
+
+}  // namespace
+}  // namespace janus::bf

@@ -1,0 +1,264 @@
+// janus — command-line front-end for the lattice-synthesis library.
+//
+//   janus synth  "ab + b'c"            synthesize an SOP expression
+//   janus synth  -p file.pla [-o N]    synthesize output N of a PLA (all by
+//                                      default, sharing one lattice via MF)
+//   janus map    "ab + c" MxN          decide one lattice-mapping instance
+//   janus bounds "ab + c"              print every bound construction
+//   janus table1 [max]                 print lattice-function product counts
+//
+// Common flags:
+//   -t SECONDS     overall time limit (default 60)
+//   -s SECONDS     per-SAT-call limit (default 10)
+//   -m exact|approx6|exact6|heur11|pc9 algorithm (default: JANUS)
+//   -q / -v        quiet / verbose logging
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bf/pla.hpp"
+#include "synth/baselines.hpp"
+#include "synth/janus.hpp"
+#include "synth/janus_mf.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using janus::lm::target_spec;
+
+struct cli_config {
+  double time_limit = 60.0;
+  double sat_limit = 10.0;
+  std::string method = "janus";
+  std::string pla_path;
+  int pla_output = -1;
+  std::vector<std::string> positional;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: janus <synth|map|bounds|table1> [args] [-p file.pla] "
+               "[-o N] [-t sec] [-s sec] [-m method] [-q|-v]\n");
+  return 2;
+}
+
+int parse_vars(const std::string& text) {
+  int num_vars = 0;
+  for (const char ch : text) {
+    if (ch >= 'a' && ch <= 'z') {
+      num_vars = std::max(num_vars, ch - 'a' + 1);
+    }
+  }
+  return num_vars;
+}
+
+janus::synth::janus_options make_options(const cli_config& cfg) {
+  janus::synth::janus_options o;
+  o.time_limit_s = cfg.time_limit;
+  o.lm.sat_time_limit_s = cfg.sat_limit;
+  return o;
+}
+
+janus::synth::janus_result run_method(const cli_config& cfg,
+                                      const target_spec& target) {
+  const auto base = make_options(cfg);
+  if (cfg.method == "exact6") {
+    janus::synth::janus_synthesizer e(janus::synth::exact6_options(base));
+    return e.run(target);
+  }
+  if (cfg.method == "approx6") {
+    janus::synth::janus_synthesizer e(janus::synth::approx6_options(base));
+    return e.run(target);
+  }
+  if (cfg.method == "heur11") {
+    return janus::synth::run_heuristic11(target, base);
+  }
+  if (cfg.method == "pc9") {
+    return janus::synth::run_pcircuit9(target, base);
+  }
+  janus::synth::janus_synthesizer e(base);
+  return e.run(target);
+}
+
+int cmd_synth(const cli_config& cfg) {
+  std::vector<target_spec> targets;
+  if (!cfg.pla_path.empty()) {
+    std::ifstream in(cfg.pla_path);
+    if (!in) {
+      std::fprintf(stderr, "janus: cannot open %s\n", cfg.pla_path.c_str());
+      return 1;
+    }
+    const auto pla = janus::bf::read_pla(in);
+    for (int o = 0; o < pla.num_outputs; ++o) {
+      if (cfg.pla_output >= 0 && o != cfg.pla_output) {
+        continue;
+      }
+      const std::string name =
+          pla.output_names.empty() ? "out" + std::to_string(o)
+                                   : pla.output_names[static_cast<std::size_t>(o)];
+      targets.push_back(target_spec::from_function(pla.onset(o), name));
+    }
+  } else if (!cfg.positional.empty()) {
+    const std::string& text = cfg.positional[0];
+    targets.push_back(target_spec::parse(parse_vars(text), text, "f"));
+  } else {
+    return usage();
+  }
+
+  if (targets.size() == 1) {
+    const auto r = run_method(cfg, targets[0]);
+    if (!r.solution.has_value()) {
+      std::fprintf(stderr, "janus: no solution within the budget\n");
+      return 1;
+    }
+    std::printf("%s: %s (%d switches), lb=%d nub=%d, %.2fs%s\n",
+                targets[0].name().c_str(), r.solution_dims().c_str(),
+                r.solution_size(), r.lower_bound, r.new_upper_bound,
+                r.seconds, r.hit_time_limit ? " [time limit]" : "");
+    std::printf("%s", r.solution->str().c_str());
+    return 0;
+  }
+  const auto mf = janus::synth::run_janus_mf(targets, make_options(cfg));
+  std::printf("straight-forward: %s (%d switches)\n",
+              mf.straightforward.grid().grid().str().c_str(),
+              mf.straightforward_size());
+  std::printf("JANUS-MF:         %s (%d switches)\n",
+              mf.improved.grid().grid().str().c_str(), mf.improved_size());
+  std::printf("%s", mf.improved.grid().str().c_str());
+  for (int o = 0; o < mf.improved.num_outputs(); ++o) {
+    const auto [first, last] = mf.improved.span(o);
+    std::printf("output %-10s columns %d..%d\n", targets[static_cast<std::size_t>(o)].name().c_str(),
+                first, last);
+  }
+  return 0;
+}
+
+int cmd_map(const cli_config& cfg) {
+  if (cfg.positional.size() != 2) {
+    return usage();
+  }
+  const std::string& text = cfg.positional[0];
+  int rows = 0;
+  int cols = 0;
+  if (std::sscanf(cfg.positional[1].c_str(), "%dx%d", &rows, &cols) != 2 ||
+      rows < 1 || cols < 1) {
+    std::fprintf(stderr, "janus: bad dimensions '%s' (want MxN)\n",
+                 cfg.positional[1].c_str());
+    return 2;
+  }
+  const auto target = target_spec::parse(parse_vars(text), text, "f");
+  janus::lm::lattice_info_cache cache;
+  janus::lm::lm_options o;
+  o.sat_time_limit_s = cfg.sat_limit;
+  const auto r = janus::lm::solve_lm(
+      target, cache.get({rows, cols}), o,
+      janus::deadline::in_seconds(cfg.time_limit));
+  switch (r.status) {
+    case janus::lm::lm_status::realizable:
+      std::printf("realizable on %dx%d%s:\n%s", rows, cols,
+                  r.used_dual_problem ? " (via the dual problem)" : "",
+                  r.mapping->str().c_str());
+      return 0;
+    case janus::lm::lm_status::unrealizable:
+      std::printf("not realizable on %dx%d\n", rows, cols);
+      return 1;
+    case janus::lm::lm_status::unknown:
+      std::printf("undecided within the budget\n");
+      return 3;
+    case janus::lm::lm_status::skipped:
+      std::printf("lattice too large to encode (path cap)\n");
+      return 3;
+  }
+  return 3;
+}
+
+int cmd_bounds(const cli_config& cfg) {
+  if (cfg.positional.empty()) {
+    return usage();
+  }
+  const std::string& text = cfg.positional[0];
+  const auto target = target_spec::parse(parse_vars(text), text, "f");
+  janus::synth::janus_synthesizer engine(make_options(cfg));
+  const auto b = engine.compute_bounds(
+      target, janus::deadline::in_seconds(cfg.time_limit));
+  std::printf("lower bound: %d\n", b.lower_bound);
+  for (const auto& sol : b.methods) {
+    std::printf("%-5s %s = %d switches\n", sol.method.c_str(),
+                sol.mapping.grid().str().c_str(), sol.size());
+  }
+  return 0;
+}
+
+int cmd_table1(const cli_config& cfg) {
+  int max = 8;
+  if (!cfg.positional.empty()) {
+    max = std::atoi(cfg.positional[0].c_str());
+  }
+  max = std::max(2, std::min(max, 10));
+  for (int m = 2; m <= max; ++m) {
+    for (int n = 2; n <= max; ++n) {
+      std::printf("%10llu/%llu",
+                  static_cast<unsigned long long>(janus::lattice::count_paths(
+                      {m, n}, janus::lattice::connectivity::four_top_bottom)),
+                  static_cast<unsigned long long>(janus::lattice::count_paths(
+                      {m, n}, janus::lattice::connectivity::eight_left_right)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  cli_config cfg;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-t") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.time_limit = std::atof(v);
+    } else if (arg == "-s") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.sat_limit = std::atof(v);
+    } else if (arg == "-m") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.method = v;
+    } else if (arg == "-p") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.pla_path = v;
+    } else if (arg == "-o") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.pla_output = std::atoi(v);
+    } else if (arg == "-q") {
+      janus::set_log_level(janus::log_level::off);
+    } else if (arg == "-v") {
+      janus::set_log_level(janus::log_level::info);
+    } else {
+      cfg.positional.push_back(arg);
+    }
+  }
+  try {
+    if (command == "synth") return cmd_synth(cfg);
+    if (command == "map") return cmd_map(cfg);
+    if (command == "bounds") return cmd_bounds(cfg);
+    if (command == "table1") return cmd_table1(cfg);
+  } catch (const janus::check_error& e) {
+    std::fprintf(stderr, "janus: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
