@@ -27,6 +27,7 @@ const char* status_name(lm_status s) {
     case lm_status::unrealizable: return "UNSAT";
     case lm_status::unknown: return "t/o";
     case lm_status::skipped: return "skip";
+    case lm_status::cancelled: return "stop";
   }
   return "?";
 }

@@ -1,0 +1,38 @@
+#include "exec/cancellation.hpp"
+
+namespace janus::exec::detail {
+
+void cancel_state::cancel() {
+  if (flag.exchange(true, std::memory_order_relaxed)) {
+    return;  // already fired; children were cascaded by the first caller
+  }
+  std::vector<std::weak_ptr<cancel_state>> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    to_fire.swap(children);
+  }
+  for (const auto& weak : to_fire) {
+    if (const auto child = weak.lock()) {
+      child->cancel();
+    }
+  }
+}
+
+void cancel_state::link_child(const std::shared_ptr<cancel_state>& child) {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!flag.load(std::memory_order_relaxed)) {
+      // Opportunistically drop dead entries so a long-lived parent that
+      // spawns many short-lived children does not grow without bound.
+      if (children.size() >= 16 && children.size() % 16 == 0) {
+        std::erase_if(children,
+                      [](const std::weak_ptr<cancel_state>& w) { return w.expired(); });
+      }
+      children.push_back(child);
+      return;
+    }
+  }
+  child->cancel();  // parent fired before we could register
+}
+
+}  // namespace janus::exec::detail

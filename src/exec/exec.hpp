@@ -1,0 +1,39 @@
+// The execution context threaded through the solve pipeline.
+//
+// Every parallel-capable layer (solve_lm's primal/dual race, the dichotomic
+// probe fan-out in janus, the batch front-end) receives one of these instead
+// of spawning threads itself, so a whole batch shares a single pool and a
+// single cancellation tree:
+//
+//   synthesize_batch ── pool ──┬─ target task ── probe fan-out ─┬─ probe task
+//                              │                                │    └─ primal/dual race
+//                              └─ target task …                 └─ probe task …
+//
+// `pool == nullptr` means "run sequentially on the calling thread"; that is
+// the jobs=1 fallback everywhere and keeps single-threaded behavior
+// bit-identical to the pre-engine code paths.
+#pragma once
+
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace janus::exec {
+
+struct context {
+  thread_pool* pool = nullptr;  ///< non-owning; nullptr = sequential
+  cancel_token cancel;          ///< external cancellation (empty = never)
+
+  [[nodiscard]] bool parallel() const {
+    return pool != nullptr && pool->worker_count() > 0;
+  }
+
+  /// The same context with a different cancellation token (used when a layer
+  /// interposes its own cancel_source between parent and child work).
+  [[nodiscard]] context with_cancel(cancel_token token) const {
+    context c = *this;
+    c.cancel = std::move(token);
+    return c;
+  }
+};
+
+}  // namespace janus::exec

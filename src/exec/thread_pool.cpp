@@ -1,0 +1,136 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+namespace janus::exec {
+
+// --------------------------------------------------------------------------
+// thread_pool
+// --------------------------------------------------------------------------
+
+thread_pool::thread_pool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void thread_pool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void thread_pool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+// --------------------------------------------------------------------------
+// task_group
+// --------------------------------------------------------------------------
+
+task_group::task_group(thread_pool* pool)
+    : pool_(pool), state_(std::make_shared<state>()) {}
+
+bool task_group::state::execute_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pending.empty()) {
+      return false;
+    }
+    task = std::move(pending.front());
+    pending.pop_front();
+  }
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) {
+      error = std::current_exception();
+    }
+  }
+  record_done();
+  return true;
+}
+
+void task_group::state::record_done() {
+  std::lock_guard<std::mutex> lock(mutex);
+  if (--unfinished == 0) {
+    cv.notify_all();
+  }
+}
+
+void task_group::run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    // Sequential degenerate case: run inline, but keep the same exception
+    // contract as the pooled path.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->error) {
+        state_->error = std::current_exception();
+      }
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->pending.push_back(std::move(task));
+    ++state_->unfinished;
+  }
+  // One claim ticket per task; a ticket finding the queue empty means the
+  // waiter (or another worker) already claimed the task — a no-op.
+  pool_->submit([s = state_] { (void)s->execute_one(); });
+}
+
+void task_group::wait() {
+  wait_no_rethrow();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    error = std::exchange(state_->error, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void task_group::wait_no_rethrow() {
+  while (state_->execute_one()) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->unfinished == 0; });
+}
+
+}  // namespace janus::exec

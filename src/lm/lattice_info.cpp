@@ -4,36 +4,49 @@
 
 namespace janus::lm {
 
+namespace {
+
+void build_info(lattice_info& info, const lattice::dims& d,
+                std::size_t max_paths) {
+  info.d = d;
+  auto p4 = lattice::collect_paths(d, lattice::connectivity::four_top_bottom,
+                                   max_paths);
+  auto p8 = lattice::collect_paths(d, lattice::connectivity::eight_left_right,
+                                   max_paths);
+  if (!p4.has_value() || !p8.has_value()) {
+    info.oversized = true;
+    return;
+  }
+  info.paths_4tb = std::move(*p4);
+  info.paths_8lr = std::move(*p8);
+  info.lengths_4tb_desc.reserve(info.paths_4tb.size());
+  for (const auto& p : info.paths_4tb) {
+    info.lengths_4tb_desc.push_back(p.length());
+  }
+  info.lengths_8lr_desc.reserve(info.paths_8lr.size());
+  for (const auto& p : info.paths_8lr) {
+    info.lengths_8lr_desc.push_back(p.length());
+  }
+  std::sort(info.lengths_4tb_desc.rbegin(), info.lengths_4tb_desc.rend());
+  std::sort(info.lengths_8lr_desc.rbegin(), info.lengths_8lr_desc.rend());
+}
+
+}  // namespace
+
 const lattice_info& lattice_info_cache::get(const lattice::dims& d) {
   const auto key = std::make_pair(d.rows, d.cols);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    return *it->second;
-  }
-  auto info = std::make_unique<lattice_info>();
-  info->d = d;
-  auto p4 = lattice::collect_paths(d, lattice::connectivity::four_top_bottom,
-                                   max_paths_);
-  auto p8 = lattice::collect_paths(d, lattice::connectivity::eight_left_right,
-                                   max_paths_);
-  if (!p4.has_value() || !p8.has_value()) {
-    info->oversized = true;
-  } else {
-    info->paths_4tb = std::move(*p4);
-    info->paths_8lr = std::move(*p8);
-    info->lengths_4tb_desc.reserve(info->paths_4tb.size());
-    for (const auto& p : info->paths_4tb) {
-      info->lengths_4tb_desc.push_back(p.length());
+  std::shared_ptr<slot> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& stored = entries_[key];
+    if (stored == nullptr) {
+      stored = std::make_shared<slot>();
     }
-    info->lengths_8lr_desc.reserve(info->paths_8lr.size());
-    for (const auto& p : info->paths_8lr) {
-      info->lengths_8lr_desc.push_back(p.length());
-    }
-    std::sort(info->lengths_4tb_desc.rbegin(), info->lengths_4tb_desc.rend());
-    std::sort(info->lengths_8lr_desc.rbegin(), info->lengths_8lr_desc.rend());
+    entry = stored;
   }
-  const auto& ref = *(entries_[key] = std::move(info));
-  return ref;
+  // Enumerate outside the map lock so distinct dimensions build in parallel.
+  std::call_once(entry->once, [&] { build_info(entry->info, d, max_paths_); });
+  return entry->info;
 }
 
 }  // namespace janus::lm

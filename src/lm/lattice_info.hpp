@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "lattice/dims.hpp"
@@ -34,7 +35,11 @@ struct lattice_info {
   }
 };
 
-/// Cache keyed by dimensions. Not thread-safe; one per synthesis run.
+/// Cache keyed by dimensions. Thread-safe: concurrent dimension probes hit
+/// it from pool workers. Each entry is enumerated exactly once (call_once);
+/// two threads asking for different dimensions enumerate concurrently, two
+/// asking for the same one share the work. Returned references stay valid
+/// for the cache's lifetime — entries are never evicted.
 class lattice_info_cache {
  public:
   explicit lattice_info_cache(std::size_t max_paths = 200'000)
@@ -46,8 +51,14 @@ class lattice_info_cache {
   [[nodiscard]] std::size_t max_paths() const { return max_paths_; }
 
  private:
+  struct slot {
+    std::once_flag once;
+    lattice_info info;
+  };
+
   std::size_t max_paths_;
-  std::map<std::pair<int, int>, std::unique_ptr<lattice_info>> entries_;
+  std::mutex mutex_;  // guards the map only, not entry construction
+  std::map<std::pair<int, int>, std::shared_ptr<slot>> entries_;
 };
 
 }  // namespace janus::lm

@@ -1,15 +1,149 @@
 #include "lm/lm_solver.hpp"
 
-#include <memory>
-
 #include "lm/structural.hpp"
 #include "util/log.hpp"
 
 namespace janus::lm {
 
+namespace {
+
+/// Everything one problem side (primal or dual) produced: encode + solve.
+struct side_run {
+  sat::solve_result verdict = sat::solve_result::unknown;
+  bool ran = false;  ///< encoder built and solver invoked
+  std::optional<lattice::lattice_mapping> mapping;
+  lm_encoding_stats encoding;
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  sat::solver_stats stats;
+
+  [[nodiscard]] bool definitive() const {
+    return verdict != sat::solve_result::unknown;
+  }
+};
+
+/// Encode and solve one side under `stop`; the stop flag aborts the solve
+/// mid-search (and skips the whole side when raised before the encode).
+side_run run_side(const target_spec& target, const lattice_info& info,
+                  bool dual_side, const lm_options& options, deadline budget,
+                  const exec::cancel_token& stop) {
+  side_run out;
+  if (stop.cancelled() || budget.expired()) {
+    return out;
+  }
+  stopwatch encode_clock;
+  const lm_encoder encoder(target, info, dual_side, options.encode);
+  out.encoding = encoder.stats();
+  out.encode_seconds = encode_clock.seconds();
+  out.ran = true;
+
+  JANUS_LOG(debug) << "LM " << info.d.str() << (dual_side ? " (dual)" : "")
+                   << ": " << encoder.stats().num_vars << " vars, "
+                   << encoder.stats().num_clauses << " clauses";
+
+  stopwatch solve_clock;
+  sat::solver s;
+  if (!s.add_cnf(encoder.formula())) {
+    out.verdict = sat::solve_result::unsat;
+    out.solve_seconds = solve_clock.seconds();
+    out.stats = s.stats();
+    return out;
+  }
+  s.set_deadline(budget.tightened(options.sat_time_limit_s));
+  if (options.conflict_budget >= 0) {
+    s.set_conflict_budget(options.conflict_budget);
+  }
+  s.set_stop_flag(stop.flag());
+  out.verdict = s.solve();
+  out.solve_seconds = solve_clock.seconds();
+  out.stats = s.stats();
+  if (out.verdict == sat::solve_result::sat) {
+    out.mapping = encoder.decode(s);
+  }
+  return out;
+}
+
+/// Translate one finished side into the caller-facing result.
+void fill_result(lm_result& result, side_run&& run, bool dual_side,
+                 const target_spec& target, const lm_options& options) {
+  result.used_dual_problem = dual_side;
+  result.encoding = run.encoding;
+  result.encode_seconds = run.encode_seconds;
+  result.solve_seconds = run.solve_seconds;
+  switch (run.verdict) {
+    case sat::solve_result::unsat:
+      result.status = lm_status::unrealizable;
+      break;
+    case sat::solve_result::unknown:
+      result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
+                                                      : lm_status::unknown;
+      break;
+    case sat::solve_result::sat: {
+      JANUS_CHECK(run.mapping.has_value());
+      if (options.verify_model) {
+        JANUS_CHECK_MSG(run.mapping->realizes(target.function()),
+                        "SAT model fails ground-truth verification");
+      }
+      result.mapping = std::move(run.mapping);
+      result.status = lm_status::realizable;
+      break;
+    }
+  }
+}
+
+/// Race the primal and dual encodings on two workers; first definitive
+/// answer wins and cancels the sibling. Both sides answer the same question
+/// (tests/test_duality_props.cpp verifies the equivalence), so which side
+/// wins only affects wall-clock and the concrete witness, never the verdict.
+lm_result solve_lm_race(const target_spec& target, const lattice_info& info,
+                        const lm_options& options, deadline budget,
+                        bool dual_cheaper) {
+  // Index 0 = primal, 1 = dual; each side gets its own stop source linked
+  // under the external token so an outer cancellation still reaches both.
+  exec::cancel_source stops[2] = {exec::cancel_source(options.exec.cancel),
+                                  exec::cancel_source(options.exec.cancel)};
+  side_run runs[2];
+  {
+    exec::task_group group(options.exec.pool);
+    // Submit the estimated-cheaper side first: under a saturated pool the
+    // waiter steals tasks in order, degenerating to the sequential
+    // cheaper-side-first heuristic instead of doubling the work.
+    const int order[2] = {dual_cheaper ? 1 : 0, dual_cheaper ? 0 : 1};
+    for (const int side : order) {
+      group.run([&target, &info, &options, budget, &stops, &runs, side] {
+        runs[side] = run_side(target, info, side == 1, options, budget,
+                              stops[side].token());
+        if (runs[side].definitive()) {
+          stops[1 - side].request_cancel();
+        }
+      });
+    }
+    group.wait();
+  }
+
+  lm_result result;
+  result.solver += runs[0].stats;
+  result.solver += runs[1].stats;
+  // Deterministic preference when both sides settled: the estimated-cheaper
+  // side, matching what the sequential path would have reported.
+  const int preferred = dual_cheaper ? 1 : 0;
+  const int winner = runs[preferred].definitive() ? preferred
+                     : runs[1 - preferred].definitive()
+                         ? 1 - preferred
+                         : preferred;
+  fill_result(result, std::move(runs[winner]), winner == 1, target, options);
+  return result;
+}
+
+}  // namespace
+
 lm_result solve_lm(const target_spec& target, const lattice_info& info,
                    const lm_options& options, deadline budget) {
   lm_result result;
+  if (options.exec.cancel.cancelled()) {
+    result.status = lm_status::cancelled;
+    return result;
+  }
   if (info.oversized) {
     result.status = lm_status::skipped;
     return result;
@@ -19,7 +153,6 @@ lm_result solve_lm(const target_spec& target, const lattice_info& info,
     return result;
   }
 
-  stopwatch encode_clock;
   const std::uint64_t primal_estimate =
       estimate_encoding_clauses(target, info, /*dual_side=*/false,
                                 options.encode);
@@ -28,68 +161,35 @@ lm_result solve_lm(const target_spec& target, const lattice_info& info,
           ? estimate_encoding_clauses(target, info, /*dual_side=*/true,
                                       options.encode)
           : ~std::uint64_t{0};
-  if (primal_estimate > options.max_encoding_clauses &&
-      dual_estimate > options.max_encoding_clauses) {
+  const bool primal_feasible = primal_estimate <= options.max_encoding_clauses;
+  const bool dual_feasible = options.allow_dual_problem &&
+                             dual_estimate <= options.max_encoding_clauses;
+  if (!primal_feasible && !dual_feasible) {
     result.status = lm_status::skipped;
     return result;
   }
-  std::unique_ptr<lm_encoder> primal;
-  if (primal_estimate <= options.max_encoding_clauses) {
-    primal = std::make_unique<lm_encoder>(target, info, /*dual_side=*/false,
-                                          options.encode);
+
+  if (options.exec.parallel() && options.race_primal_dual && primal_feasible &&
+      dual_feasible) {
+    return solve_lm_race(target, info, options, budget,
+                         /*dual_cheaper=*/dual_estimate < primal_estimate);
   }
-  std::unique_ptr<lm_encoder> dual;
-  if (options.allow_dual_problem &&
-      dual_estimate <= options.max_encoding_clauses) {
-    dual = std::make_unique<lm_encoder>(target, info, /*dual_side=*/true,
-                                        options.encode);
-  }
+
+  // Sequential fallback: pick the side with the smaller estimated clause
+  // count and construct only that encoder — the loser is never built, so
+  // peak encode memory is one formula, not two.
   const bool use_dual =
-      dual != nullptr &&
-      (primal == nullptr ||
-       dual->stats().complexity() < primal->stats().complexity());
-  JANUS_CHECK(use_dual || primal != nullptr);
-  const lm_encoder& chosen = use_dual ? *dual : *primal;
-  result.used_dual_problem = use_dual;
-  result.encoding = chosen.stats();
-  result.encode_seconds = encode_clock.seconds();
-
-  JANUS_LOG(debug) << "LM " << info.d.str() << (use_dual ? " (dual)" : "")
-                   << ": " << chosen.stats().num_vars << " vars, "
-                   << chosen.stats().num_clauses << " clauses";
-
-  stopwatch solve_clock;
-  sat::solver s;
-  if (!s.add_cnf(chosen.formula())) {
-    result.status = lm_status::unrealizable;
-    result.solve_seconds = solve_clock.seconds();
+      dual_feasible && (!primal_feasible || dual_estimate < primal_estimate);
+  side_run run = run_side(target, info, use_dual, options, budget,
+                          options.exec.cancel);
+  result.solver += run.stats;
+  if (!run.ran) {
+    // Cancelled or out of budget before the encode started.
+    result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
+                                                    : lm_status::unknown;
     return result;
   }
-  s.set_deadline(budget.tightened(options.sat_time_limit_s));
-  if (options.conflict_budget >= 0) {
-    s.set_conflict_budget(options.conflict_budget);
-  }
-  const sat::solve_result verdict = s.solve();
-  result.solve_seconds = solve_clock.seconds();
-
-  switch (verdict) {
-    case sat::solve_result::unsat:
-      result.status = lm_status::unrealizable;
-      break;
-    case sat::solve_result::unknown:
-      result.status = lm_status::unknown;
-      break;
-    case sat::solve_result::sat: {
-      lattice::lattice_mapping mapping = chosen.decode(s);
-      if (options.verify_model) {
-        JANUS_CHECK_MSG(mapping.realizes(target.function()),
-                        "SAT model fails ground-truth verification");
-      }
-      result.mapping = std::move(mapping);
-      result.status = lm_status::realizable;
-      break;
-    }
-  }
+  fill_result(result, std::move(run), use_dual, target, options);
   return result;
 }
 

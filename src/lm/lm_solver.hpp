@@ -1,16 +1,25 @@
-// LM problem orchestration: structural check → encode both sides → solve the
-// cheaper one under a budget → decode and verify.
+// LM problem orchestration: structural check → encode → solve → decode and
+// verify.
 //
 // Mirrors Section III-A end to end: the primal problem (f on 4-connected
 // top–bottom paths) and the dual problem (f^D on 8-connected left–right
-// paths) are both generated; the SAT solver runs on the one with the smaller
-// #vars × #clauses product, under the paper's per-call time limit. A timeout
-// is treated as "not realizable on this lattice" by callers — the designed
-// source of approximation.
+// paths) decide the same question; a timeout is treated as "not realizable on
+// this lattice" by callers — the designed source of approximation.
+//
+// Execution modes (selected by `lm_options::exec`):
+//   * sequential (exec.pool == nullptr, the jobs=1 fallback): the side with
+//     the smaller estimated clause count is built and solved; the loser is
+//     never constructed, halving peak encode memory versus building both.
+//   * racing (a pool is available): both sides are encoded and solved on two
+//     workers; the first definitive SAT/UNSAT answer wins and cancels the
+//     sibling mid-solve via its stop flag. Wall-clock becomes min(primal,
+//     dual) instead of the estimate-picked side, and a wrong cheapness
+//     estimate no longer costs anything.
 #pragma once
 
 #include <optional>
 
+#include "exec/exec.hpp"
 #include "lm/encoding.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +30,7 @@ enum class lm_status : std::uint8_t {
   unrealizable,  ///< UNSAT (under the active heuristic rules) or structural fail
   unknown,       ///< budget expired before an answer
   skipped,       ///< lattice too large to encode (path cap exceeded)
+  cancelled,     ///< externally cancelled (a racing sibling already answered)
 };
 
 struct lm_options {
@@ -33,6 +43,12 @@ struct lm_options {
   /// skipped outright (estimated before construction; bounds memory and
   /// encode time on wide-input targets).
   std::uint64_t max_encoding_clauses = 4'000'000;
+  /// Pool + cancellation. A null pool runs the sequential path.
+  exec::context exec;
+  /// Race primal vs dual when a pool is available and both sides fit the
+  /// clause budget; turning this off keeps the sequential heuristic even
+  /// under a pool (probe-level parallelism only).
+  bool race_primal_dual = true;
 };
 
 struct lm_result {
@@ -42,6 +58,9 @@ struct lm_result {
   lm_encoding_stats encoding;
   double encode_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// Accumulated SAT counters of every solver this call ran (both race sides
+  /// when racing); batch synthesis aggregates these across targets.
+  sat::solver_stats solver;
 };
 
 /// Decide (approximately) whether `target` fits the lattice described by

@@ -611,6 +611,9 @@ void solver::garbage_collect() {
 // --------------------------------------------------------------------------
 
 bool solver::budget_expired() const {
+  if (stopped_externally()) {
+    return true;
+  }
   if (deadline_hit_) {
     return true;
   }
@@ -720,6 +723,16 @@ solve_result solver::search(std::int64_t conflicts_before_restart) {
     }
     if (next == lit_undef) {
       ++stats_.decisions;
+      // Long conflict-free stretches (e.g. an instance about to be satisfied)
+      // would otherwise never reach the per-conflict budget checks; poll the
+      // cheap external stop flag every decision and the clock occasionally.
+      if ((stats_.decisions & 255u) == 0 && deadline_.expired()) {
+        deadline_hit_ = true;
+      }
+      if (stopped_externally() || deadline_hit_) {
+        cancel_until(0);
+        return solve_result::unknown;
+      }
       next = pick_branch_lit();
       if (next == lit_undef) {
         model_.assign(assigns_.begin(), assigns_.end());

@@ -15,6 +15,7 @@
 //   * solving under assumptions (with final-conflict extraction).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -38,6 +39,19 @@ struct solver_stats {
   std::uint64_t removed_clauses = 0;
   std::uint64_t minimized_literals = 0;
 };
+
+/// Accumulate counters across solver instances (per-probe, per-race side,
+/// per-batch-target aggregation in the parallel engine).
+inline solver_stats& operator+=(solver_stats& lhs, const solver_stats& rhs) {
+  lhs.decisions += rhs.decisions;
+  lhs.propagations += rhs.propagations;
+  lhs.conflicts += rhs.conflicts;
+  lhs.restarts += rhs.restarts;
+  lhs.learned_clauses += rhs.learned_clauses;
+  lhs.removed_clauses += rhs.removed_clauses;
+  lhs.minimized_literals += rhs.minimized_literals;
+  return lhs;
+}
 
 /// Tunables; defaults follow MiniSat/glucose conventions.
 struct solver_options {
@@ -73,6 +87,16 @@ class solver {
   void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
   void set_propagation_budget(std::int64_t props) { propagation_budget_ = props; }
   void set_deadline(deadline d) { deadline_ = d; }
+
+  /// External stop flag, polled inside the budget checks (per conflict and
+  /// every 256 decisions). Raising it makes an in-flight solve() return
+  /// `unknown` promptly — the cancellation hook the parallel execution
+  /// engine uses when a racing sibling already answered. The flag must
+  /// outlive the solve() call; nullptr (the default) disables the check.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  [[nodiscard]] bool stopped_externally() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] solve_result solve() { return solve({}); }
   [[nodiscard]] solve_result solve(std::span<const lit> assumptions);
@@ -226,6 +250,7 @@ class solver {
   std::vector<lit> conflict_core_;
   std::vector<lbool> model_;
 
+  const std::atomic<bool>* stop_ = nullptr;  // external cancellation, not owned
   std::int64_t conflict_budget_ = -1;     // -1: unlimited
   std::int64_t propagation_budget_ = -1;  // -1: unlimited
   std::int64_t conflict_limit_abs_ = -1;

@@ -1,0 +1,61 @@
+#include "synth/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/log.hpp"
+
+namespace janus::synth {
+
+batch_result synthesize_batch(std::span<const lm::target_spec> targets,
+                              const batch_options& options) {
+  batch_result batch;
+  batch.results.resize(targets.size());
+  stopwatch batch_clock;
+  const double per_target = options.per_target_time_limit_s > 0.0
+                                ? options.per_target_time_limit_s
+                                : options.base.time_limit_s;
+  const deadline total = options.total_time_limit_s > 0.0
+                             ? deadline::in_seconds(options.total_time_limit_s)
+                             : deadline::never();
+
+  std::unique_ptr<exec::thread_pool> pool;
+  if (options.jobs > 1) {
+    pool = std::make_unique<exec::thread_pool>(
+        static_cast<std::size_t>(options.jobs));
+  }
+
+  {
+    exec::task_group group(pool.get());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      group.run([&, i] {
+        janus_options per = options.base;
+        // Per-target deadline, clipped by whatever remains of the batch
+        // budget at the moment this target actually starts.
+        per.time_limit_s = std::min(per_target, total.remaining_seconds());
+        per.jobs = 1;  // sharding decides; the shared pool adds the rest
+        per.exec.pool = options.parallel_probes ? pool.get() : nullptr;
+        janus_synthesizer engine(per);
+        batch.results[i] = engine.run(targets[i]);
+        JANUS_LOG(info) << "batch: " << targets[i].name() << " -> "
+                        << batch.results[i].solution_dims() << " ("
+                        << batch.results[i].solution_size() << " switches)";
+      });
+    }
+    group.wait();
+  }
+
+  for (const janus_result& r : batch.results) {
+    batch.solver_totals += r.sat_totals;
+    batch.total_probes += r.probes.size();
+    if (r.solution.has_value()) {
+      ++batch.solved;
+      batch.total_switches += r.solution_size();
+    }
+    batch.hit_time_limit = batch.hit_time_limit || r.hit_time_limit;
+  }
+  batch.seconds = batch_clock.seconds();
+  return batch;
+}
+
+}  // namespace janus::synth

@@ -1,6 +1,8 @@
 #include "synth/janus.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 
 #include "util/log.hpp"
 #include "util/str.hpp"
@@ -32,6 +34,16 @@ std::vector<dims> lattice_candidates(int max_area) {
       maximal.push_back(d);
     }
   }
+  // Canonical probe order: smallest area first, then lexicographic (rows,
+  // cols). The dichotomic step picks the first realizable candidate in this
+  // order whether it probes sequentially or fans out on a pool.
+  std::sort(maximal.begin(), maximal.end(),
+            [](const dims& a, const dims& b) {
+              if (a.size() != b.size()) {
+                return a.size() < b.size();
+              }
+              return a < b;
+            });
   return maximal;
 }
 
@@ -95,30 +107,125 @@ janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
   return report;
 }
 
-lm::lm_result janus_synthesizer::probe(const target_spec& target,
-                                       const dims& d, deadline budget,
-                                       std::vector<probe_record>* log) {
+janus_synthesizer::probe_outcome janus_synthesizer::probe(
+    const target_spec& target, const dims& d, deadline budget,
+    const lm::lm_options& lm_options) {
   const auto key = std::make_pair(d.rows, d.cols);
-  const auto it = probe_memo_.find(key);
-  if (it != probe_memo_.end() && it->second.status != lm::lm_status::unknown) {
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = probe_memo_.find(key);
+    if (it != probe_memo_.end()) {
+      return {it->second, 0.0, /*from_cache=*/true};
+    }
   }
   stopwatch clock;
-  lm::lm_result r = lm::solve_lm(target, cache_.get(d), options_.lm, budget);
-  if (log != nullptr) {
-    log->push_back({d, r.status, clock.seconds()});
-  }
+  lm::lm_result r = lm::solve_lm(target, cache_.get(d), lm_options, budget);
+  const double seconds = clock.seconds();
   JANUS_LOG(info) << target.name() << ": probe " << d.str() << " -> "
                   << static_cast<int>(r.status) << " ("
-                  << format_fixed(clock.seconds(), 2) << "s)";
-  probe_memo_[key] = r;
-  return r;
+                  << format_fixed(seconds, 2) << "s)";
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    sat_totals_ += r.solver;
+    // Only definitive answers are worth caching: an unknown may resolve with
+    // a fresh budget, and a cancelled probe never really ran. (A probe ranked
+    // past the winner can still finish definitively before its cancel lands
+    // and get cached here — harmless for determinism, because its area is at
+    // least the winner's and every later dichotomic step probes strictly
+    // smaller areas, so the entry is never consulted again.)
+    if (r.status != lm::lm_status::unknown &&
+        r.status != lm::lm_status::cancelled) {
+      probe_memo_[key] = r;
+    }
+  }
+  return {std::move(r), seconds, /*from_cache=*/false};
+}
+
+std::optional<lattice_mapping> janus_synthesizer::probe_step(
+    const target_spec& target, int mp, deadline budget,
+    exec::thread_pool* pool, std::vector<probe_record>& log) {
+  const std::vector<dims> candidates = lattice_candidates(mp);
+  const std::size_t n = candidates.size();
+  std::vector<probe_outcome> outcomes(n);
+  std::vector<std::uint8_t> probed(n, 0);
+
+  if (pool == nullptr) {
+    // Sequential jobs=1 fallback: canonical order, stop at the first
+    // realizable candidate — by construction the same winner the parallel
+    // branch selects.
+    lm::lm_options lm_options = options_.lm;
+    lm_options.exec.pool = nullptr;
+    lm_options.exec.cancel = options_.exec.cancel;  // aborts in-flight solves
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget.expired() || options_.exec.cancel.cancelled()) {
+        break;
+      }
+      outcomes[i] = probe(target, candidates[i], budget, lm_options);
+      probed[i] = 1;
+      if (outcomes[i].result.status == lm::lm_status::realizable) {
+        break;
+      }
+    }
+  } else if (!budget.expired() && !options_.exec.cancel.cancelled()) {
+    // Fan out every candidate; a SAT answer at rank i cancels only ranks
+    // > i (they cannot win selection), so every rank below the eventual
+    // winner always completes and the selection is deterministic.
+    std::vector<exec::cancel_source> stops;
+    stops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stops.emplace_back(options_.exec.cancel);
+    }
+    std::mutex step_mutex;
+    std::size_t best_rank = n;
+    exec::task_group group(pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.run([&, i] {
+        lm::lm_options lm_options = options_.lm;
+        lm_options.exec.pool = pool;
+        lm_options.exec.cancel = stops[i].token();
+        outcomes[i] = probe(target, candidates[i], budget, lm_options);
+        probed[i] = 1;
+        if (outcomes[i].result.status == lm::lm_status::realizable) {
+          std::lock_guard<std::mutex> lock(step_mutex);
+          if (i < best_rank) {
+            best_rank = i;
+            for (std::size_t j = i + 1; j < n; ++j) {
+              stops[j].request_cancel();
+            }
+          }
+        }
+      });
+    }
+    group.wait();
+  }
+
+  // Records appear in canonical order regardless of completion order.
+  std::optional<lattice_mapping> winner;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probed[i] == 0) {
+      continue;
+    }
+    probe_outcome& o = outcomes[i];
+    if (!o.from_cache) {
+      log.push_back({candidates[i], o.result.status, o.seconds});
+    }
+    if (!winner.has_value() &&
+        o.result.status == lm::lm_status::realizable) {
+      JANUS_CHECK(o.result.mapping.has_value());
+      winner = std::move(*o.result.mapping);  // outcomes dies at return
+    }
+  }
+  return winner;
 }
 
 janus_result janus_synthesizer::run(const target_spec& target) {
   janus_result result;
   stopwatch total_clock;
-  probe_memo_.clear();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    probe_memo_.clear();
+    sat_totals_ = {};
+  }
   const deadline budget = deadline::in_seconds(options_.time_limit_s);
 
   // Constant functions need a single switch hard-wired to 0 or 1.
@@ -133,6 +240,16 @@ janus_result janus_synthesizer::run(const target_spec& target) {
     result.ub_method = "const";
     result.seconds = total_clock.seconds();
     return result;
+  }
+
+  // The probe fan-out pool: shared when the caller provided one (batch
+  // synthesis), created here for a standalone jobs=N run, absent for jobs=1.
+  std::unique_ptr<exec::thread_pool> owned_pool;
+  exec::thread_pool* pool = options_.exec.pool;
+  if (pool == nullptr && options_.jobs > 1) {
+    owned_pool =
+        std::make_unique<exec::thread_pool>(static_cast<std::size_t>(options_.jobs));
+    pool = owned_pool.get();
   }
 
   // Step 1: bounds.
@@ -159,37 +276,33 @@ janus_result janus_synthesizer::run(const target_spec& target) {
   int lo = result.lower_bound;
   int hi = best.size();
   while (lo < hi) {
-    if (budget.expired()) {
+    if (budget.expired() || options_.exec.cancel.cancelled()) {
       result.hit_time_limit = true;
       break;
     }
     const int mp = (lo + hi) / 2;
-    bool found = false;
-    for (const dims& d : lattice_candidates(mp)) {
-      if (budget.expired()) {
-        result.hit_time_limit = true;
-        break;
-      }
-      const lm::lm_result r = probe(target, d, budget, &result.probes);
-      if (r.status == lm::lm_status::realizable) {
-        JANUS_CHECK(r.mapping.has_value());
-        best = *r.mapping;
-        hi = best.size();
-        found = true;
-        break;
-      }
+    std::optional<lattice_mapping> winner =
+        probe_step(target, mp, budget, pool, result.probes);
+    if (winner.has_value()) {
+      best = std::move(*winner);
+      hi = best.size();
+      continue;
     }
-    if (result.hit_time_limit) {
+    if (budget.expired() || options_.exec.cancel.cancelled()) {
+      // The step was cut short; "no winner" proves nothing about mp.
+      result.hit_time_limit = true;
       break;
     }
-    if (!found) {
-      lo = mp + 1;
-    }
+    lo = mp + 1;
   }
 
   JANUS_CHECK_MSG(best.realizes(target.function()),
                   "JANUS produced an unverified solution");
   result.solution = std::move(best);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    result.sat_totals = sat_totals_;
+  }
   result.seconds = total_clock.seconds();
   return result;
 }

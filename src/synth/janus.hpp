@@ -13,10 +13,12 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "lm/lm_solver.hpp"
 #include "synth/bounds.hpp"
 #include "util/timer.hpp"
@@ -27,6 +29,13 @@ struct janus_options {
   lm::lm_options lm;                  ///< per-LM-call options (SAT limit etc.)
   double time_limit_s = 6.0 * 3600.0; ///< overall budget (paper: 6h CPU)
   std::size_t max_paths = 200'000;    ///< per-lattice path cap
+
+  /// Worker threads for the dichotomic probe fan-out and the primal/dual
+  /// race. 1 (the default) keeps the fully sequential pipeline. When
+  /// `exec.pool` is null and jobs > 1, run() creates its own pool; batch
+  /// synthesis instead shares one pool across targets via `exec`.
+  int jobs = 1;
+  exec::context exec;  ///< shared pool + external cancellation (optional)
 
   // Upper-bound methods in play. JANUS uses all six; the exact/approx [6]
   // baselines use only the first three ("oub" in Table II).
@@ -58,6 +67,8 @@ struct janus_result {
   double seconds = 0.0;
   bool hit_time_limit = false;
   std::vector<probe_record> probes;
+  /// SAT counters summed over every dichotomic probe (all race sides).
+  sat::solver_stats sat_totals;
 
   [[nodiscard]] int solution_size() const {
     return solution ? solution->size() : 0;
@@ -69,7 +80,10 @@ struct janus_result {
 
 /// Maximal dimension pairs with area ≤ s (pairs dominated by another pair in
 /// both coordinates are dropped — realizability is monotone in rows and
-/// columns, which tests/lattice property tests verify).
+/// columns, which tests/lattice property tests verify). Returned in the
+/// canonical probe order — area ascending, then lexicographic (rows, cols) —
+/// which both the sequential and the parallel dichotomic step use to select
+/// the winning candidate, so results are independent of completion order.
 [[nodiscard]] std::vector<lattice::dims> lattice_candidates(int max_area);
 
 class janus_synthesizer {
@@ -97,13 +111,31 @@ class janus_synthesizer {
   [[nodiscard]] lm::lattice_info_cache& cache() { return cache_; }
 
  private:
+  struct probe_outcome {
+    lm::lm_result result;
+    double seconds = 0.0;
+    bool from_cache = false;
+  };
+
   /// Probe one dimension pair, memoized across the binary search.
-  lm::lm_result probe(const lm::target_spec& target, const lattice::dims& d,
-                      deadline budget, std::vector<probe_record>* log);
+  /// Thread-safe: called concurrently by the probe fan-out.
+  probe_outcome probe(const lm::target_spec& target, const lattice::dims& d,
+                      deadline budget, const lm::lm_options& lm_options);
+
+  /// One dichotomic step: probe every lattice_candidates(mp) entry —
+  /// concurrently when `pool` is non-null — and return the realization of
+  /// the first candidate (in canonical order) that is realizable. A SAT
+  /// answer cancels every candidate ranked after it; lower-ranked probes
+  /// always finish, keeping the selected winner deterministic.
+  std::optional<lattice::lattice_mapping> probe_step(
+      const lm::target_spec& target, int mp, deadline budget,
+      exec::thread_pool* pool, std::vector<probe_record>& log);
 
   janus_options options_;
   lm::lattice_info_cache cache_;
+  std::mutex memo_mutex_;  // guards probe_memo_ and sat_totals_
   std::map<std::pair<int, int>, lm::lm_result> probe_memo_;
+  sat::solver_stats sat_totals_;
 };
 
 }  // namespace janus::synth

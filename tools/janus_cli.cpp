@@ -3,6 +3,9 @@
 //   janus synth  "ab + b'c"            synthesize an SOP expression
 //   janus synth  -p file.pla [-o N]    synthesize output N of a PLA (all by
 //                                      default, sharing one lattice via MF)
+//   janus batch  -p file.pla           synthesize every PLA output as an
+//                                      independent target, sharded across
+//                                      the worker pool
 //   janus map    "ab + c" MxN          decide one lattice-mapping instance
 //   janus bounds "ab + c"              print every bound construction
 //   janus table1 [max]                 print lattice-function product counts
@@ -10,16 +13,21 @@
 // Common flags:
 //   -t SECONDS     overall time limit (default 60)
 //   -s SECONDS     per-SAT-call limit (default 10)
+//   -j N, --jobs N worker threads (default 1: fully sequential). N >= 2
+//                  enables the dichotomic probe fan-out, the primal/dual
+//                  race, and batch sharding.
 //   -m exact|approx6|exact6|heur11|pc9 algorithm (default: JANUS)
 //   -q / -v        quiet / verbose logging
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bf/pla.hpp"
 #include "synth/baselines.hpp"
+#include "synth/batch.hpp"
 #include "synth/janus.hpp"
 #include "synth/janus_mf.hpp"
 #include "util/log.hpp"
@@ -31,6 +39,7 @@ using janus::lm::target_spec;
 struct cli_config {
   double time_limit = 60.0;
   double sat_limit = 10.0;
+  int jobs = 1;
   std::string method = "janus";
   std::string pla_path;
   int pla_output = -1;
@@ -39,8 +48,9 @@ struct cli_config {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: janus <synth|map|bounds|table1> [args] [-p file.pla] "
-               "[-o N] [-t sec] [-s sec] [-m method] [-q|-v]\n");
+               "usage: janus <synth|batch|map|bounds|table1> [args] "
+               "[-p file.pla] [-o N] [-t sec] [-s sec] [-j jobs] [-m method] "
+               "[-q|-v]\n");
   return 2;
 }
 
@@ -58,6 +68,7 @@ janus::synth::janus_options make_options(const cli_config& cfg) {
   janus::synth::janus_options o;
   o.time_limit_s = cfg.time_limit;
   o.lm.sat_time_limit_s = cfg.sat_limit;
+  o.jobs = cfg.jobs;
   return o;
 }
 
@@ -82,13 +93,15 @@ janus::synth::janus_result run_method(const cli_config& cfg,
   return e.run(target);
 }
 
-int cmd_synth(const cli_config& cfg) {
+/// Targets for synth/batch: every selected PLA output, or the one parsed
+/// expression. Empty on error (message already printed).
+std::vector<target_spec> collect_targets(const cli_config& cfg) {
   std::vector<target_spec> targets;
   if (!cfg.pla_path.empty()) {
     std::ifstream in(cfg.pla_path);
     if (!in) {
       std::fprintf(stderr, "janus: cannot open %s\n", cfg.pla_path.c_str());
-      return 1;
+      return targets;
     }
     const auto pla = janus::bf::read_pla(in);
     for (int o = 0; o < pla.num_outputs; ++o) {
@@ -100,11 +113,25 @@ int cmd_synth(const cli_config& cfg) {
                                    : pla.output_names[static_cast<std::size_t>(o)];
       targets.push_back(target_spec::from_function(pla.onset(o), name));
     }
+    if (targets.empty()) {
+      std::fprintf(stderr, "janus: no outputs selected from %s (%d outputs%s)\n",
+                   cfg.pla_path.c_str(), pla.num_outputs,
+                   cfg.pla_output >= 0 ? ", -o out of range" : "");
+    }
   } else if (!cfg.positional.empty()) {
     const std::string& text = cfg.positional[0];
     targets.push_back(target_spec::parse(parse_vars(text), text, "f"));
-  } else {
+  }
+  return targets;
+}
+
+int cmd_synth(const cli_config& cfg) {
+  if (cfg.pla_path.empty() && cfg.positional.empty()) {
     return usage();
+  }
+  std::vector<target_spec> targets = collect_targets(cfg);
+  if (targets.empty()) {
+    return 1;
   }
 
   if (targets.size() == 1) {
@@ -135,6 +162,40 @@ int cmd_synth(const cli_config& cfg) {
   return 0;
 }
 
+int cmd_batch(const cli_config& cfg) {
+  if (cfg.pla_path.empty()) {
+    std::fprintf(stderr, "janus: batch mode needs -p file.pla\n");
+    return usage();
+  }
+  const std::vector<target_spec> targets = collect_targets(cfg);
+  if (targets.empty()) {
+    return 1;
+  }
+  janus::synth::batch_options o;
+  o.base = make_options(cfg);
+  o.jobs = cfg.jobs;
+  // -t stays the *overall* limit, as documented; targets starting late get
+  // whatever remains of it (per-target limit defaults to the same value).
+  o.total_time_limit_s = cfg.time_limit;
+  const auto b = janus::synth::synthesize_batch(targets, o);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto& r = b.results[i];
+    std::printf("%-12s %7s  %3d switches  lb=%-3d nub=%-3d %6.2fs%s\n",
+                targets[i].name().c_str(), r.solution_dims().c_str(),
+                r.solution_size(), r.lower_bound, r.new_upper_bound, r.seconds,
+                r.hit_time_limit ? " [time limit]" : "");
+  }
+  std::printf(
+      "batch: %d/%zu solved, %d switches total, %llu probes, "
+      "%llu conflicts, %llu propagations, %.2fs wall (jobs=%d)\n",
+      b.solved, targets.size(), b.total_switches,
+      static_cast<unsigned long long>(b.total_probes),
+      static_cast<unsigned long long>(b.solver_totals.conflicts),
+      static_cast<unsigned long long>(b.solver_totals.propagations), b.seconds,
+      cfg.jobs);
+  return b.solved == static_cast<int>(targets.size()) ? 0 : 1;
+}
+
 int cmd_map(const cli_config& cfg) {
   if (cfg.positional.size() != 2) {
     return usage();
@@ -152,6 +213,12 @@ int cmd_map(const cli_config& cfg) {
   janus::lm::lattice_info_cache cache;
   janus::lm::lm_options o;
   o.sat_time_limit_s = cfg.sat_limit;
+  std::unique_ptr<janus::exec::thread_pool> pool;
+  if (cfg.jobs > 1) {
+    pool = std::make_unique<janus::exec::thread_pool>(
+        static_cast<std::size_t>(cfg.jobs));
+    o.exec.pool = pool.get();  // enables the primal/dual race
+  }
   const auto r = janus::lm::solve_lm(
       target, cache.get({rows, cols}), o,
       janus::deadline::in_seconds(cfg.time_limit));
@@ -169,6 +236,9 @@ int cmd_map(const cli_config& cfg) {
       return 3;
     case janus::lm::lm_status::skipped:
       std::printf("lattice too large to encode (path cap)\n");
+      return 3;
+    case janus::lm::lm_status::cancelled:
+      std::printf("cancelled\n");
       return 3;
   }
   return 3;
@@ -231,6 +301,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       cfg.sat_limit = std::atof(v);
+    } else if (arg == "-j" || arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.jobs = std::max(1, std::atoi(v));
     } else if (arg == "-m") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -253,6 +327,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (command == "synth") return cmd_synth(cfg);
+    if (command == "batch") return cmd_batch(cfg);
     if (command == "map") return cmd_map(cfg);
     if (command == "bounds") return cmd_bounds(cfg);
     if (command == "table1") return cmd_table1(cfg);
