@@ -49,40 +49,18 @@ std::uint64_t estimate_encoding_clauses(const target_spec& target,
   return exactly_one + link + off_clauses + on * per_on;
 }
 
-lm_encoder::lm_encoder(const target_spec& target, const lattice_info& info,
-                       bool dual_side, lm_encode_options options)
-    : target_(target),
-      info_(info),
-      dual_side_(dual_side),
-      options_(options) {
-  JANUS_CHECK_MSG(!info_.oversized, "cannot encode an oversized lattice");
-  side_function_ = dual_side_ ? &target_.dual_function() : &target_.function();
-  side_sop_ = dual_side_ ? &target_.dual_sop() : &target_.sop();
-  side_paths_ = dual_side_ ? &info_.paths_8lr : &info_.paths_4tb;
-  build();
-}
-
-sat::lit lm_encoder::map_lit(int cell, std::size_t tl_index) const {
-  return sat::lit::make(map_base_ +
-                        cell * static_cast<int>(tl_.size()) +
-                        static_cast<int>(tl_index));
-}
-
-sat::lit lm_encoder::val_lit(int cell, std::uint64_t entry) const {
-  return sat::lit::make(val_base_ +
-                        static_cast<sat::var>(entry) * info_.d.size() + cell);
-}
-
-void lm_encoder::build() {
-  // --- target literal set TL ---------------------------------------------
-  tl_.clear();
-  tl_.push_back(cell_assign::zero());
-  tl_.push_back(cell_assign::one());
-  const int r = target_.num_vars();
+std::vector<cell_assign> build_target_literals(const target_spec& target,
+                                               bool dual_side,
+                                               const lm_encode_options& options) {
+  std::vector<cell_assign> tl;
+  tl.push_back(cell_assign::zero());
+  tl.push_back(cell_assign::one());
+  const int r = target.num_vars();
   std::vector<bool> use_pos(static_cast<std::size_t>(r), false);
   std::vector<bool> use_neg(static_cast<std::size_t>(r), false);
-  if (options_.tl_isop_literals_only) {
-    for (const bf::cube& c : side_sop_->cubes()) {
+  if (options.tl_isop_literals_only) {
+    const bf::cover& side_sop = dual_side ? target.dual_sop() : target.sop();
+    for (const bf::cube& c : side_sop.cubes()) {
       for (const bf::literal l : c.literals()) {
         (l.negated ? use_neg : use_pos)[static_cast<std::size_t>(l.variable)] =
             true;
@@ -94,69 +72,82 @@ void lm_encoder::build() {
   }
   for (int v = 0; v < r; ++v) {
     if (use_pos[static_cast<std::size_t>(v)]) {
-      tl_.push_back(cell_assign::lit(v, false));
+      tl.push_back(cell_assign::lit(v, false));
     }
     if (use_neg[static_cast<std::size_t>(v)]) {
-      tl_.push_back(cell_assign::lit(v, true));
+      tl.push_back(cell_assign::lit(v, true));
     }
   }
-
-  build_mapping_layer();
-
-  const std::uint64_t entries = side_function_->num_minterms();
-  for (std::uint64_t e = 0; e < entries; ++e) {
-    build_entry(e, side_function_->get(e));
-  }
-
-  if (options_.strict_product_rules) {
-    build_strict_rules();
-  } else if (options_.use_degree_rules) {
-    build_degree_rules();
-  }
-
-  stats_.num_vars = static_cast<std::uint64_t>(formula_.num_vars());
-  stats_.num_clauses = formula_.num_clauses();
+  return tl;
 }
 
-void lm_encoder::build_mapping_layer() {
-  const int cells = info_.d.size();
-  map_base_ = formula_.new_vars(cells * static_cast<int>(tl_.size()));
-  val_base_ = formula_.new_vars(
-      cells * static_cast<int>(side_function_->num_minterms()));
+// --------------------------------------------------------------------------
+// lm_emitter — the shared clause-emission engine
+// --------------------------------------------------------------------------
 
-  const std::uint64_t before = formula_.num_clauses();
+lm_emitter::lm_emitter(const target_spec& target, const lattice_info* info,
+                       bool dual_side, const lm_encode_options& options,
+                       const std::vector<cell_assign>& tl,
+                       const lm_var_layout& layout, sat::cnf& out)
+    : target_(target),
+      info_(info),
+      dual_side_(dual_side),
+      options_(options),
+      tl_(tl),
+      layout_(layout),
+      out_(out) {
+  side_function_ = dual_side_ ? &target_.dual_function() : &target_.function();
+  side_sop_ = dual_side_ ? &target_.dual_sop() : &target_.sop();
+  if (info_ != nullptr) {
+    JANUS_CHECK_MSG(!info_->oversized, "cannot encode an oversized lattice");
+    side_paths_ = dual_side_ ? &info_->paths_8lr : &info_->paths_4tb;
+  }
+}
+
+void lm_emitter::add(std::span<const sat::lit> lits) {
+  if (activation_ == sat::lit_undef) {
+    out_.add_clause(lits);
+    return;
+  }
+  clause_buffer_.assign(1, ~activation_);
+  clause_buffer_.insert(clause_buffer_.end(), lits.begin(), lits.end());
+  out_.add_clause(clause_buffer_);
+}
+
+void lm_emitter::add(std::initializer_list<sat::lit> lits) {
+  add(std::span<const sat::lit>(lits.begin(), lits.size()));
+}
+
+void lm_emitter::emit_exactly_one(int cell) {
+  const std::uint64_t before = out_.num_clauses();
   std::vector<sat::lit> group(tl_.size());
-  for (int cell = 0; cell < cells; ++cell) {
-    for (std::size_t j = 0; j < tl_.size(); ++j) {
-      group[j] = map_lit(cell, j);
-    }
-    if (options_.amo_sequential) {
-      formula_.exactly_one_sequential(group);
-    } else {
-      formula_.exactly_one(group);
-    }
+  for (std::size_t j = 0; j < tl_.size(); ++j) {
+    group[j] = layout_.map_lit(cell, j);
   }
-
-  // Link clauses: a chosen wiring forces the cell's value at every entry.
-  const std::uint64_t entries = side_function_->num_minterms();
-  for (std::uint64_t e = 0; e < entries; ++e) {
-    for (int cell = 0; cell < cells; ++cell) {
-      for (std::size_t j = 0; j < tl_.size(); ++j) {
-        const sat::lit mv = map_lit(cell, j);
-        const sat::lit value = val_lit(cell, e);
-        if (tl_[j].eval(e)) {
-          formula_.add_binary(~mv, value);
-        } else {
-          formula_.add_binary(~mv, ~value);
-        }
-      }
-    }
+  if (options_.amo_sequential) {
+    out_.exactly_one_sequential(group);
+  } else {
+    out_.exactly_one(group);
   }
-  stats_.link_clauses = formula_.num_clauses() - before;
+  stats_.link_clauses += out_.num_clauses() - before;
 }
 
-void lm_encoder::build_entry(std::uint64_t entry, bool target_value) {
-  const std::uint64_t before = formula_.num_clauses();
+void lm_emitter::emit_links(int cell, std::uint64_t entry) {
+  const std::uint64_t before = out_.num_clauses();
+  for (std::size_t j = 0; j < tl_.size(); ++j) {
+    const sat::lit mv = layout_.map_lit(cell, j);
+    const sat::lit value = layout_.val_lit(cell, entry);
+    if (tl_[j].eval(entry)) {
+      out_.add_binary(~mv, value);
+    } else {
+      out_.add_binary(~mv, ~value);
+    }
+  }
+  stats_.link_clauses += out_.num_clauses() - before;
+}
+
+void lm_emitter::emit_entry(std::uint64_t entry, bool target_value) {
+  const std::uint64_t before = out_.num_clauses();
   if (!target_value) {
     // Every irredundant path must be broken at this entry.
     std::vector<sat::lit> clause;
@@ -164,11 +155,11 @@ void lm_encoder::build_entry(std::uint64_t entry, bool target_value) {
       clause.clear();
       clause.reserve(p.cells.size());
       for (const std::uint16_t cell : p.cells) {
-        clause.push_back(~val_lit(cell, entry));
+        clause.push_back(~layout_.val_lit(cell, entry));
       }
-      formula_.add_clause(clause);
+      add(clause);
     }
-    stats_.off_entry_clauses += formula_.num_clauses() - before;
+    stats_.off_entry_clauses += out_.num_clauses() - before;
     return;
   }
 
@@ -176,27 +167,27 @@ void lm_encoder::build_entry(std::uint64_t entry, bool target_value) {
   std::vector<sat::lit> selectors;
   selectors.reserve(side_paths_->size());
   for (const lattice::path& p : *side_paths_) {
-    const sat::lit sel = sat::lit::make(formula_.new_var());
+    const sat::lit sel = sat::lit::make(out_.new_var());
     selectors.push_back(sel);
     for (const std::uint16_t cell : p.cells) {
-      formula_.add_binary(~sel, val_lit(cell, entry));
+      add({~sel, layout_.val_lit(cell, entry)});
     }
   }
-  formula_.add_clause(selectors);
+  add(selectors);
 
   if (options_.use_helper_facts) {
     // Fact (i): a connecting path crosses every transversal line, so each
     // row (primal) / column (dual side) holds at least one 1.
-    const int lines = dual_side_ ? info_.d.cols : info_.d.rows;
-    const int per_line = dual_side_ ? info_.d.rows : info_.d.cols;
+    const int lines = dual_side_ ? info_->d.cols : info_->d.rows;
+    const int per_line = dual_side_ ? info_->d.rows : info_->d.cols;
     std::vector<sat::lit> line_clause;
     for (int line = 0; line < lines; ++line) {
       line_clause.clear();
       for (int k = 0; k < per_line; ++k) {
-        const int cell = dual_side_ ? info_.d.cell(k, line) : info_.d.cell(line, k);
-        line_clause.push_back(val_lit(cell, entry));
+        const int cell = dual_side_ ? info_->d.cell(k, line) : info_->d.cell(line, k);
+        line_clause.push_back(layout_.val_lit(cell, entry));
       }
-      formula_.add_clause(line_clause);
+      add(line_clause);
     }
     // Fact (ii): between consecutive lines there is an adjacent ON pair
     // (vertically aligned for 4-connectivity; within one diagonal step for
@@ -204,28 +195,28 @@ void lm_encoder::build_entry(std::uint64_t entry, bool target_value) {
     for (int line = 0; line + 1 < lines; ++line) {
       std::vector<sat::lit> pair_clause;
       for (int k = 0; k < per_line; ++k) {
-        const int a = dual_side_ ? info_.d.cell(k, line) : info_.d.cell(line, k);
+        const int a = dual_side_ ? info_->d.cell(k, line) : info_->d.cell(line, k);
         const int lo = dual_side_ ? std::max(0, k - 1) : k;
         const int hi = dual_side_ ? std::min(per_line - 1, k + 1) : k;
         for (int k2 = lo; k2 <= hi; ++k2) {
-          const int b = dual_side_ ? info_.d.cell(k2, line + 1)
-                                   : info_.d.cell(line + 1, k2);
-          const sat::lit both = sat::lit::make(formula_.new_var());
-          formula_.add_binary(~both, val_lit(a, entry));
-          formula_.add_binary(~both, val_lit(b, entry));
+          const int b = dual_side_ ? info_->d.cell(k2, line + 1)
+                                   : info_->d.cell(line + 1, k2);
+          const sat::lit both = sat::lit::make(out_.new_var());
+          add({~both, layout_.val_lit(a, entry)});
+          add({~both, layout_.val_lit(b, entry)});
           pair_clause.push_back(both);
         }
       }
-      formula_.add_clause(pair_clause);
+      add(pair_clause);
     }
   }
-  stats_.on_entry_clauses += formula_.num_clauses() - before;
+  stats_.on_entry_clauses += out_.num_clauses() - before;
 }
 
-void lm_encoder::add_realization_rule(
+void lm_emitter::add_realization_rule(
     const bf::cube& p, const std::vector<const lattice::path*>& paths,
     bool allow_one) {
-  const std::uint64_t before = formula_.num_clauses();
+  const std::uint64_t before = out_.num_clauses();
   // Which TL indices are literals of p (plus constant 1 when allowed)?
   std::vector<std::size_t> allowed;
   std::vector<std::vector<std::size_t>> per_literal;  // TL indices per literal
@@ -258,34 +249,34 @@ void lm_encoder::add_realization_rule(
   std::vector<sat::lit> choice;
   choice.reserve(paths.size());
   for (const lattice::path* path : paths) {
-    const sat::lit real = sat::lit::make(formula_.new_var());
+    const sat::lit real = sat::lit::make(out_.new_var());
     choice.push_back(real);
     std::vector<sat::lit> clause;
     // Every cell of the path maps within the allowed set.
     for (const std::uint16_t cell : path->cells) {
       clause.assign(1, ~real);
       for (const std::size_t j : allowed) {
-        clause.push_back(map_lit(cell, j));
+        clause.push_back(layout_.map_lit(cell, j));
       }
-      formula_.add_clause(clause);
+      add(clause);
     }
     // Every literal of p is used by some cell of the path.
     for (const auto& idx : per_literal) {
       clause.assign(1, ~real);
       for (const std::uint16_t cell : path->cells) {
         for (const std::size_t j : idx) {
-          clause.push_back(map_lit(cell, j));
+          clause.push_back(layout_.map_lit(cell, j));
         }
       }
-      formula_.add_clause(clause);
+      add(clause);
     }
   }
-  formula_.add_clause(choice);  // some path realizes p
-  stats_.rule_clauses += formula_.num_clauses() - before;
+  add(choice);  // some path realizes p
+  stats_.rule_clauses += out_.num_clauses() - before;
 }
 
-void lm_encoder::build_degree_rules() {
-  const int lattice_degree = dual_side_ ? info_.max_len_8lr() : info_.max_len_4tb();
+void lm_emitter::emit_degree_rules() {
+  const int lattice_degree = dual_side_ ? info_->max_len_8lr() : info_->max_len_4tb();
   const int target_degree = side_sop_->degree();
 
   std::uint64_t aux_estimate = 0;
@@ -321,7 +312,7 @@ void lm_encoder::build_degree_rules() {
   }
 }
 
-void lm_encoder::build_strict_rules() {
+void lm_emitter::emit_strict_rules() {
   // Approx-[6]: every product, no exceptions, realized by a dedicated path
   // over only its own literals.
   std::uint64_t aux_estimate = 0;
@@ -341,23 +332,95 @@ void lm_encoder::build_strict_rules() {
   }
 }
 
-lattice::lattice_mapping lm_encoder::decode(const sat::solver& s) const {
-  lattice::lattice_mapping out(info_.d, target_.num_vars());
-  for (int cell = 0; cell < info_.d.size(); ++cell) {
+void lm_emitter::emit_rules() {
+  if (options_.strict_product_rules) {
+    emit_strict_rules();
+  } else if (options_.use_degree_rules) {
+    emit_degree_rules();
+  }
+}
+
+// --------------------------------------------------------------------------
+// lm_encoder — the scratch (non-incremental) path
+// --------------------------------------------------------------------------
+
+lm_encoder::lm_encoder(const target_spec& target, const lattice_info& info,
+                       bool dual_side, lm_encode_options options)
+    : target_(target),
+      info_(info),
+      dual_side_(dual_side),
+      options_(options) {
+  JANUS_CHECK_MSG(!info_.oversized, "cannot encode an oversized lattice");
+  build();
+}
+
+void lm_encoder::build() {
+  tl_ = build_target_literals(target_, dual_side_, options_);
+  const bf::truth_table& side_function =
+      dual_side_ ? target_.dual_function() : target_.function();
+
+  // Contiguous two-block layout: all mapping vars, then all value vars
+  // (value vars entry-major: val[cell][e] = val_base + e * cells + cell).
+  const int cells = info_.d.size();
+  const std::uint64_t entries = side_function.num_minterms();
+  const sat::var map_base = formula_.new_vars(cells * static_cast<int>(tl_.size()));
+  const sat::var val_base =
+      formula_.new_vars(cells * static_cast<int>(entries));
+  layout_.map_base.resize(static_cast<std::size_t>(cells));
+  layout_.val_base.resize(static_cast<std::size_t>(cells));
+  for (int cell = 0; cell < cells; ++cell) {
+    layout_.map_base[static_cast<std::size_t>(cell)] =
+        map_base + cell * static_cast<int>(tl_.size());
+    layout_.val_base[static_cast<std::size_t>(cell)] = val_base + cell;
+  }
+  layout_.val_stride = cells;
+
+  lm_emitter emitter(target_, &info_, dual_side_, options_, tl_, layout_,
+                     formula_);
+  for (int cell = 0; cell < cells; ++cell) {
+    emitter.emit_exactly_one(cell);
+  }
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    for (int cell = 0; cell < cells; ++cell) {
+      emitter.emit_links(cell, e);
+    }
+  }
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    emitter.emit_entry(e, side_function.get(e));
+  }
+  emitter.emit_rules();
+
+  stats_ = emitter.stats();
+  stats_.num_vars = static_cast<std::uint64_t>(formula_.num_vars());
+  stats_.num_clauses = formula_.num_clauses();
+}
+
+lattice::lattice_mapping decode_mapping(const sat::solver& s,
+                                        const lm_var_layout& layout,
+                                        const std::vector<cell_assign>& tl,
+                                        const lattice::dims& d, int num_vars,
+                                        bool dual_side) {
+  lattice::lattice_mapping out(d, num_vars);
+  for (int cell = 0; cell < d.size(); ++cell) {
     std::optional<cell_assign> chosen;
-    for (std::size_t j = 0; j < tl_.size(); ++j) {
-      if (s.model_bool(map_lit(cell, j).variable())) {
+    for (std::size_t j = 0; j < tl.size(); ++j) {
+      if (s.model_bool(layout.map_lit(cell, j).variable())) {
         JANUS_CHECK_MSG(!chosen.has_value(),
                         "model selects two wirings for one cell");
-        chosen = tl_[j];
+        chosen = tl[j];
       }
     }
     JANUS_CHECK_MSG(chosen.has_value(), "model leaves a cell unwired");
     const cell_assign a =
-        dual_side_ ? chosen->with_constants_flipped() : *chosen;
+        dual_side ? chosen->with_constants_flipped() : *chosen;
     out.cells()[static_cast<std::size_t>(cell)] = a;
   }
   return out;
+}
+
+lattice::lattice_mapping lm_encoder::decode(const sat::solver& s) const {
+  return decode_mapping(s, layout_, tl_, info_.d, target_.num_vars(),
+                        dual_side_);
 }
 
 }  // namespace janus::lm

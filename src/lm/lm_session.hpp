@@ -1,0 +1,212 @@
+// Incremental LM solving sessions — one persistent SAT solver per
+// (target, side) across the whole dichotomic ladder.
+//
+// JANUS solves a *sequence* of closely related LM decision problems per
+// target: one per probed lattice dimension. The scratch path rebuilds the
+// encoder and a fresh sat::solver for every probe, discarding everything the
+// previous probes learned. A session instead keeps one solver alive and
+// layers the probes on a shared core:
+//
+//   * Shared core (emitted once, grown on demand): a pool of CELL SLOTS.
+//     Slot s owns |TL| mapping variables and one value variable per truth
+//     table entry, plus the exactly-one and mapping→value link clauses.
+//     These constraints are independent of lattice geometry — probing dims
+//     (r, c) simply uses the first r·c slots — so every clause the solver
+//     learns over them transfers to every later probe.
+//   * Per-dims groups: the path constraints (OFF/ON entries, helper facts)
+//     and the heuristic rule clauses of one dims, emitted with activation
+//     literals prepended (see lm_emitter::set_activation). A probe of dims d
+//     solves under assumptions {structure_d, rules_d} ∪ {¬structure_d',
+//     ¬rules_d' : d' ≠ d}, so exactly one geometry is active per call while
+//     the clause database — learned clauses included — persists.
+//
+// Verdict parity with the scratch path: under its assumptions the active
+// formula is exactly core ∧ group_d, which is equisatisfiable with the
+// scratch encoding of d (same constraint families over the same cells, via
+// the same lm_emitter). Deactivated groups are satisfied through their
+// guards and constrain nothing. SAT models decode and verify identically, so
+// session mode reproduces scratch-mode bounds and solution sizes bit for bit
+// (tests/test_incremental.cpp asserts this across the Table II set).
+//
+// Core-guided pruning: when an UNSAT answer's conflict core (see
+// sat::solver::conflict_core) does not use the rules_d assumption, the
+// refutation holds in the rule-free encoding — the target is unrealizable
+// on d under the active TL options, not merely rejected by a heuristic
+// rule. That verdict is dims-independent and monotone (drop rows/columns,
+// stay unrealizable), so the session pool records d in an UNSAT frontier
+// and the dichotomic search prunes every dominated candidate without
+// solving. This can only replace probes whose scratch verdict would also
+// be UNSAT, preserving parity.
+//
+// Threading: one lm_session is single-threaded. The pool hands out sessions
+// under a lock — concurrent probes (the dichotomic fan-out, the primal/dual
+// race) each lease their own session, so jobs=1 gets perfect reuse and
+// jobs=N trades some sharing for parallelism. Cancellation is safe at every
+// point: an aborted solve() returns unknown, keeps all learned clauses, and
+// the session is immediately reusable.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "exec/cancellation.hpp"
+#include "lm/encoding.hpp"
+#include "util/timer.hpp"
+
+namespace janus::lm {
+
+/// The shared solve-side protocol of one incremental probe: apply the
+/// per-call budgets and stop flag, decide under `assumptions`, detach the
+/// stop flag again (the token may die with the call), and report the
+/// verdict with the solver-stats delta and wall time. Both lm_session and
+/// reach_session route their solves through this so the protocol cannot
+/// drift between session flavors.
+struct session_solve_outcome {
+  sat::solve_result verdict = sat::solve_result::unknown;
+  sat::solver_stats delta;
+  double seconds = 0.0;
+};
+[[nodiscard]] session_solve_outcome solve_session_step(
+    sat::solver& solver, std::span<const sat::lit> assumptions,
+    deadline budget, double sat_time_limit_s, std::int64_t conflict_budget,
+    const exec::cancel_token& stop);
+
+class lm_session {
+ public:
+  lm_session(const target_spec& target, bool dual_side,
+             lm_encode_options options);
+
+  /// Everything one incremental probe produced.
+  struct probe_result {
+    sat::solve_result verdict = sat::solve_result::unknown;
+    std::optional<lattice::lattice_mapping> mapping;  ///< primal mapping, on sat
+    /// UNSAT whose conflict core does not use the rule-clause assumption:
+    /// the rule-free encoding alone is contradictory. Still relative to the
+    /// session's TL options (ISOP-filtered literals by default), but that
+    /// restriction is dims-independent and monotone, so the verdict is safe
+    /// to propagate to dominated dimensions.
+    bool rule_free_unsat = false;
+    bool reused_group = false;  ///< dims was already encoded in this session
+    /// Clauses newly added for this probe (0/0 when the group was reused).
+    lm_encoding_stats encoding;
+    double encode_seconds = 0.0;
+    double solve_seconds = 0.0;
+    /// Solver work attributable to this solve() call (stats delta).
+    sat::solver_stats solver_delta;
+  };
+
+  /// Probe one dims: extend the shared core to `info.d.size()` slots if
+  /// needed, encode the dims group on first sight, then solve under the
+  /// group's activation assumptions. `stop` aborts mid-solve (verdict
+  /// unknown); the session stays valid and reusable afterwards.
+  [[nodiscard]] probe_result probe(const lattice_info& info, deadline budget,
+                                   double sat_time_limit_s,
+                                   std::int64_t conflict_budget,
+                                   const exec::cancel_token& stop);
+
+  [[nodiscard]] bool dual_side() const { return dual_side_; }
+  [[nodiscard]] const sat::solver& solver() const { return solver_; }
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  [[nodiscard]] int num_slots() const { return layout_.num_cells(); }
+
+ private:
+  struct dims_group {
+    sat::lit structure = sat::lit_undef;  ///< activates the path clauses
+    sat::lit rules = sat::lit_undef;      ///< activates the rule clauses
+  };
+
+  const target_spec& target_;
+  const bool dual_side_;
+  const lm_encode_options options_;
+  std::vector<lattice::cell_assign> tl_;
+  std::uint64_t entries_ = 0;
+  sat::solver solver_;
+  lm_var_layout layout_;  ///< grows as larger lattices are probed
+  std::map<std::pair<int, int>, dims_group> groups_;
+};
+
+/// Per-target registry of sessions plus the shared UNSAT frontier.
+///
+/// acquire() leases an idle session for the requested side, creating one
+/// when all are leased (the concurrent fan-out case); the lease returns it
+/// on destruction. The frontier records dimensions proven unrealizable
+/// without the heuristic rules (rule-free UNSAT cores);
+/// known_unrealizable() answers dominance queries so callers skip probes
+/// whose outcome is already implied. All methods are thread-safe.
+class lm_session_pool {
+ public:
+  /// `target` must outlive the pool (sessions keep references into it).
+  lm_session_pool(const target_spec& target, lm_encode_options options)
+      : target_(target), options_(options) {}
+
+  lm_session_pool(const lm_session_pool&) = delete;
+  lm_session_pool& operator=(const lm_session_pool&) = delete;
+
+  /// RAII lease on a session; returns it to the pool on destruction.
+  class lease {
+   public:
+    lease(lm_session_pool* pool, std::unique_ptr<lm_session> session)
+        : pool_(pool), session_(std::move(session)) {}
+    lease(lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          session_(std::move(other.session_)) {}
+    lease& operator=(lease&& other) noexcept {
+      if (this != &other) {
+        return_to_pool();  // a reassigned lease must not lose its session
+        pool_ = std::exchange(other.pool_, nullptr);
+        session_ = std::move(other.session_);
+      }
+      return *this;
+    }
+    lease(const lease&) = delete;
+    lease& operator=(const lease&) = delete;
+    ~lease() { return_to_pool(); }
+    lm_session* operator->() { return session_.get(); }
+    lm_session& operator*() { return *session_; }
+
+   private:
+    void return_to_pool() {
+      if (pool_ != nullptr && session_ != nullptr) {
+        pool_->release(std::move(session_));
+      }
+      pool_ = nullptr;
+    }
+
+    lm_session_pool* pool_;
+    std::unique_ptr<lm_session> session_;
+  };
+
+  [[nodiscard]] lease acquire(bool dual_side);
+
+  /// Record a rule-free-unrealizable dims (monotone verdict).
+  void note_unrealizable(const lattice::dims& d);
+
+  /// Is `d` dominated by a recorded unrealizable dims (d.rows <= r and
+  /// d.cols <= c for some recorded (r, c))?
+  [[nodiscard]] bool known_unrealizable(const lattice::dims& d) const;
+
+  [[nodiscard]] std::size_t sessions_created() const;
+  [[nodiscard]] std::uint64_t pruned_probes() const;
+  void count_pruned_probe();
+
+ private:
+  friend class lease;
+  void release(std::unique_ptr<lm_session> session);
+
+  const target_spec& target_;
+  const lm_encode_options options_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<lm_session>> idle_[2];  ///< [primal, dual]
+  std::size_t created_ = 0;
+  std::uint64_t pruned_ = 0;
+  /// Pareto frontier of proven-unrealizable dimensions (no entry dominates
+  /// another; inserts drop newly dominated entries).
+  std::vector<lattice::dims> unsat_frontier_;
+};
+
+}  // namespace janus::lm

@@ -11,6 +11,7 @@ namespace {
 struct side_run {
   sat::solve_result verdict = sat::solve_result::unknown;
   bool ran = false;  ///< encoder built and solver invoked
+  bool rule_free_unsat = false;  ///< UNSAT without the heuristic rules
   std::optional<lattice::lattice_mapping> mapping;
   lm_encoding_stats encoding;
   double encode_seconds = 0.0;
@@ -24,6 +25,7 @@ struct side_run {
 
 /// Encode and solve one side under `stop`; the stop flag aborts the solve
 /// mid-search (and skips the whole side when raised before the encode).
+/// Session mode leases a persistent solver; scratch mode builds fresh.
 side_run run_side(const target_spec& target, const lattice_info& info,
                   bool dual_side, const lm_options& options, deadline budget,
                   const exec::cancel_token& stop) {
@@ -31,6 +33,23 @@ side_run run_side(const target_spec& target, const lattice_info& info,
   if (stop.cancelled() || budget.expired()) {
     return out;
   }
+
+  if (options.sessions != nullptr) {
+    lm_session_pool::lease session = options.sessions->acquire(dual_side);
+    lm_session::probe_result pr =
+        session->probe(info, budget, options.sat_time_limit_s,
+                       options.conflict_budget, stop);
+    out.verdict = pr.verdict;
+    out.rule_free_unsat = pr.rule_free_unsat;
+    out.mapping = std::move(pr.mapping);
+    out.encoding = pr.encoding;
+    out.encode_seconds = pr.encode_seconds;
+    out.solve_seconds = pr.solve_seconds;
+    out.stats = pr.solver_delta;
+    out.ran = true;
+    return out;
+  }
+
   stopwatch encode_clock;
   const lm_encoder encoder(target, info, dual_side, options.encode);
   out.encoding = encoder.stats();
@@ -73,6 +92,7 @@ void fill_result(lm_result& result, side_run&& run, bool dual_side,
   switch (run.verdict) {
     case sat::solve_result::unsat:
       result.status = lm_status::unrealizable;
+      result.definitely_unrealizable = run.rule_free_unsat;
       break;
     case sat::solve_result::unknown:
       result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
@@ -148,8 +168,25 @@ lm_result solve_lm(const target_spec& target, const lattice_info& info,
     result.status = lm_status::skipped;
     return result;
   }
-  if (!structural_check(target, info)) {
+  // Frontier short-circuit: a dims dominated by a proven-unrealizable one
+  // cannot be realizable either, so no encoding or solving is needed. Only
+  // genuine (rule-free) unrealizability enters the frontier, so this answers
+  // exactly what a scratch solve would have answered.
+  if (options.sessions != nullptr &&
+      options.sessions->known_unrealizable(info.d)) {
+    options.sessions->count_pruned_probe();
     result.status = lm_status::unrealizable;
+    result.definitely_unrealizable = true;
+    return result;
+  }
+  if (!structural_check(target, info)) {
+    // The structural matching is a sound impossibility proof (Section
+    // III-A), independent of any heuristic rule — frontier-worthy.
+    result.status = lm_status::unrealizable;
+    result.definitely_unrealizable = true;
+    if (options.sessions != nullptr) {
+      options.sessions->note_unrealizable(info.d);
+    }
     return result;
   }
 
@@ -171,25 +208,31 @@ lm_result solve_lm(const target_spec& target, const lattice_info& info,
 
   if (options.exec.parallel() && options.race_primal_dual && primal_feasible &&
       dual_feasible) {
-    return solve_lm_race(target, info, options, budget,
-                         /*dual_cheaper=*/dual_estimate < primal_estimate);
+    result = solve_lm_race(target, info, options, budget,
+                           /*dual_cheaper=*/dual_estimate < primal_estimate);
+  } else {
+    // Sequential fallback: pick the side with the smaller estimated clause
+    // count and construct only that encoder — the loser is never built, so
+    // peak encode memory is one formula, not two.
+    const bool use_dual =
+        dual_feasible && (!primal_feasible || dual_estimate < primal_estimate);
+    side_run run = run_side(target, info, use_dual, options, budget,
+                            options.exec.cancel);
+    result.solver += run.stats;
+    if (!run.ran) {
+      // Cancelled or out of budget before the encode started.
+      result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
+                                                      : lm_status::unknown;
+      return result;
+    }
+    fill_result(result, std::move(run), use_dual, target, options);
   }
-
-  // Sequential fallback: pick the side with the smaller estimated clause
-  // count and construct only that encoder — the loser is never built, so
-  // peak encode memory is one formula, not two.
-  const bool use_dual =
-      dual_feasible && (!primal_feasible || dual_estimate < primal_estimate);
-  side_run run = run_side(target, info, use_dual, options, budget,
-                          options.exec.cancel);
-  result.solver += run.stats;
-  if (!run.ran) {
-    // Cancelled or out of budget before the encode started.
-    result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
-                                                    : lm_status::unknown;
-    return result;
+  // Either side proving genuine unrealizability (rule-free UNSAT core)
+  // extends the frontier: both sides decide the same question, so a hard
+  // UNSAT from the dual view prunes future primal probes just the same.
+  if (result.definitely_unrealizable && options.sessions != nullptr) {
+    options.sessions->note_unrealizable(info.d);
   }
-  fill_result(result, std::move(run), use_dual, target, options);
   return result;
 }
 

@@ -15,12 +15,18 @@
 //     sibling mid-solve via its stop flag. Wall-clock becomes min(primal,
 //     dual) instead of the estimate-picked side, and a wrong cheapness
 //     estimate no longer costs anything.
+//
+// Orthogonally, `lm_options::sessions` switches each side from the scratch
+// encoder+solver to a leased incremental session (see lm_session.hpp): the
+// same verdicts, but learned clauses persist across the caller's probe
+// ladder and proven-unrealizable dimensions short-circuit dominated probes.
 #pragma once
 
 #include <optional>
 
 #include "exec/exec.hpp"
 #include "lm/encoding.hpp"
+#include "lm/lm_session.hpp"
 #include "util/timer.hpp"
 
 namespace janus::lm {
@@ -49,12 +55,30 @@ struct lm_options {
   /// clause budget; turning this off keeps the sequential heuristic even
   /// under a pool (probe-level parallelism only).
   bool race_primal_dual = true;
+  /// Incremental sessions (nullptr = scratch mode). When set, each side of a
+  /// probe leases a persistent per-(target, side) solver from this pool
+  /// instead of building a fresh encoder + solver, keeping learned clauses
+  /// across the dichotomic ladder; rule-free UNSAT cores feed the pool's
+  /// frontier and dominated dimensions are answered without solving. The
+  /// pool must belong to the same target being solved, and must have been
+  /// constructed with the same `encode` options as this struct — session
+  /// probes encode with the pool's stored options, so a mismatch would
+  /// silently break scratch/session parity.
+  lm_session_pool* sessions = nullptr;
 };
 
 struct lm_result {
   lm_status status = lm_status::skipped;
   std::optional<lattice::lattice_mapping> mapping;
   bool used_dual_problem = false;
+  /// UNSAT independent of the heuristic rule clauses (rule-free conflict
+  /// core in session mode, structural rejection, or dominance by the
+  /// session pool's frontier). NOT an exactness certificate: the core still
+  /// bakes in the active TL restriction (`tl_isop_literals_only`), so this
+  /// means "unrealizable under the active encoding options" — which is
+  /// dims-independent and monotone in rows and columns, the two properties
+  /// frontier pruning needs for scratch-parity.
+  bool definitely_unrealizable = false;
   lm_encoding_stats encoding;
   double encode_seconds = 0.0;
   double solve_seconds = 0.0;

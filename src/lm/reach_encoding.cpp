@@ -11,172 +11,191 @@ namespace {
 using lattice::cell_assign;
 using lattice::dims;
 
-struct reach_build {
-  sat::cnf formula;
-  std::vector<cell_assign> tl;
-  sat::var map_base = 0;
-  int num_cells = 0;
-
-  [[nodiscard]] sat::lit map_lit(int cell, std::size_t j) const {
-    return sat::lit::make(map_base + cell * static_cast<int>(tl.size()) +
-                          static_cast<int>(j));
-  }
-};
+/// The reachability TL always offers every literal of every variable (the
+/// ablation deliberately skips the ISOP filtering of the path encoding).
+lm_encode_options reach_tl_options(lm_encode_options options) {
+  options.tl_isop_literals_only = false;
+  return options;
+}
 
 }  // namespace
 
-lm_result solve_lm_reachability(const target_spec& target, const dims& d,
-                                const lm_options& options, deadline budget) {
+reach_session::reach_session(const target_spec& target,
+                             lm_encode_options options)
+    : target_(target), options_(reach_tl_options(options)) {
+  tl_ = build_target_literals(target_, /*dual_side=*/false, options_);
+  entries_ = target_.function().num_minterms();
+  layout_.val_stride = 1;
+}
+
+std::uint64_t reach_session::ensure_slots(int cells) {
+  if (layout_.num_cells() >= cells) {
+    return 0;
+  }
+  sat::cnf delta;
+  delta.ensure_vars(solver_.num_vars());
+  lm_emitter emitter(target_, /*info=*/nullptr, /*dual_side=*/false, options_,
+                     tl_, layout_, delta);
+  for (int slot = layout_.num_cells(); slot < cells; ++slot) {
+    layout_.map_base.push_back(delta.new_vars(static_cast<int>(tl_.size())));
+    layout_.val_base.push_back(delta.new_vars(static_cast<int>(entries_)));
+    emitter.emit_exactly_one(slot);
+    for (std::uint64_t e = 0; e < entries_; ++e) {
+      emitter.emit_links(slot, e);
+    }
+  }
+  JANUS_CHECK(solver_.add_cnf(delta));
+  return delta.num_clauses();
+}
+
+lm_result reach_session::probe(const dims& d, const lm_options& options,
+                               deadline budget) {
   lm_result result;
   stopwatch encode_clock;
 
-  reach_build b;
-  b.num_cells = d.size();
-  b.tl.push_back(cell_assign::zero());
-  b.tl.push_back(cell_assign::one());
-  for (int v = 0; v < target.num_vars(); ++v) {
-    b.tl.push_back(cell_assign::lit(v, false));
-    b.tl.push_back(cell_assign::lit(v, true));
-  }
-  b.map_base = b.formula.new_vars(b.num_cells * static_cast<int>(b.tl.size()));
-  std::vector<sat::lit> group(b.tl.size());
-  for (int cell = 0; cell < b.num_cells; ++cell) {
-    for (std::size_t j = 0; j < b.tl.size(); ++j) {
-      group[j] = b.map_lit(cell, j);
-    }
-    b.formula.exactly_one(group);
-  }
+  const auto key = std::make_pair(d.rows, d.cols);
+  sat::lit activation = sat::lit_undef;
+  const auto found = groups_.find(key);
+  if (found != groups_.end()) {
+    activation = found->second;
+  } else {
+    // Count core growth into this probe's stats, matching lm_session's
+    // "clauses newly added for this probe" semantics.
+    const int vars_before = solver_.num_vars();
+    const std::uint64_t core_clauses = ensure_slots(d.size());
 
-  const int levels = d.size();  // BFS converges within #cells rounds
-  const std::uint64_t entries = target.function().num_minterms();
-  for (std::uint64_t e = 0; e < entries; ++e) {
-    // Cell values at this entry.
-    const sat::var val_base = b.formula.new_vars(b.num_cells);
-    const auto val = [&](int cell) {
-      return sat::lit::make(val_base + cell);
+    sat::cnf delta;
+    delta.ensure_vars(solver_.num_vars());
+    activation = sat::lit::make(delta.new_var());
+    // All unrolling clauses go through the shared guard mechanism:
+    // activation -> clause, exactly like the path encoding's dims groups.
+    lm_emitter emitter(target_, /*info=*/nullptr, /*dual_side=*/false,
+                       options_, tl_, layout_, delta);
+    emitter.set_activation(activation);
+    const auto add = [&emitter](std::initializer_list<sat::lit> clause) {
+      emitter.add(clause);
     };
-    for (int cell = 0; cell < b.num_cells; ++cell) {
-      for (std::size_t j = 0; j < b.tl.size(); ++j) {
-        b.formula.add_binary(~b.map_lit(cell, j),
-                             b.tl[j].eval(e) ? val(cell) : ~val(cell));
+
+    const int levels = d.size();  // BFS converges within #cells rounds
+    for (std::uint64_t e = 0; e < entries_; ++e) {
+      const auto val = [&](int cell) { return layout_.val_lit(cell, e); };
+
+      // Level 0: reachable = ON and on the top row.
+      std::vector<sat::lit> reach(static_cast<std::size_t>(d.size()));
+      std::vector<bool> defined(static_cast<std::size_t>(d.size()), false);
+      for (int c = 0; c < d.cols; ++c) {
+        reach[static_cast<std::size_t>(d.cell(0, c))] = val(d.cell(0, c));
+        defined[static_cast<std::size_t>(d.cell(0, c))] = true;
       }
-    }
 
-    // Level 0: reachable = ON and on the top row.
-    std::vector<sat::lit> reach(static_cast<std::size_t>(b.num_cells));
-    for (int c = 0; c < d.cols; ++c) {
-      reach[static_cast<std::size_t>(d.cell(0, c))] = val(d.cell(0, c));
-    }
-    std::vector<bool> defined(static_cast<std::size_t>(b.num_cells), false);
-    for (int c = 0; c < d.cols; ++c) {
-      defined[static_cast<std::size_t>(d.cell(0, c))] = true;
-    }
+      // Unroll: reach_k[cell] ⇔ val[cell] ∧ OR(prev self, prev 4-neighbors).
+      for (int k = 1; k <= levels; ++k) {
+        std::vector<sat::lit> next(static_cast<std::size_t>(d.size()));
+        std::vector<bool> next_defined(static_cast<std::size_t>(d.size()),
+                                       false);
+        for (int rr = 0; rr < d.rows; ++rr) {
+          for (int cc = 0; cc < d.cols; ++cc) {
+            const int cell = d.cell(rr, cc);
+            std::vector<sat::lit> sources;
+            if (defined[static_cast<std::size_t>(cell)]) {
+              sources.push_back(reach[static_cast<std::size_t>(cell)]);
+            }
+            const int nbrs[4][2] = {{rr - 1, cc}, {rr + 1, cc},
+                                    {rr, cc - 1}, {rr, cc + 1}};
+            for (const auto& n : nbrs) {
+              if (n[0] < 0 || n[0] >= d.rows || n[1] < 0 || n[1] >= d.cols) {
+                continue;
+              }
+              const int ncell = d.cell(n[0], n[1]);
+              if (defined[static_cast<std::size_t>(ncell)]) {
+                sources.push_back(reach[static_cast<std::size_t>(ncell)]);
+              }
+            }
+            if (rr == 0) {
+              sources.push_back(val(cell));  // top plate feeds every round
+            }
+            if (sources.empty()) {
+              continue;  // provably unreachable at this depth
+            }
+            const sat::lit rk = sat::lit::make(delta.new_var());
+            // rk -> val[cell]; rk -> OR(sources); val & source -> rk.
+            add({~rk, val(cell)});
+            std::vector<sat::lit> or_clause;
+            or_clause.push_back(~rk);
+            for (const sat::lit s : sources) {
+              or_clause.push_back(s);
+              add({~val(cell), ~s, rk});
+            }
+            emitter.add(or_clause);
+            next[static_cast<std::size_t>(cell)] = rk;
+            next_defined[static_cast<std::size_t>(cell)] = true;
+          }
+        }
+        reach = std::move(next);
+        defined = std::move(next_defined);
+      }
 
-    // Unroll: reach_k[cell] ⇔ val[cell] ∧ OR(prev self, prev 4-neighbors).
-    for (int k = 1; k <= levels; ++k) {
-      std::vector<sat::lit> next(static_cast<std::size_t>(b.num_cells));
-      std::vector<bool> next_defined(static_cast<std::size_t>(b.num_cells),
-                                     false);
-      for (int rr = 0; rr < d.rows; ++rr) {
-        for (int cc = 0; cc < d.cols; ++cc) {
-          const int cell = d.cell(rr, cc);
-          std::vector<sat::lit> sources;
-          if (defined[static_cast<std::size_t>(cell)]) {
-            sources.push_back(reach[static_cast<std::size_t>(cell)]);
-          }
-          const int nbrs[4][2] = {{rr - 1, cc}, {rr + 1, cc},
-                                  {rr, cc - 1}, {rr, cc + 1}};
-          for (const auto& n : nbrs) {
-            if (n[0] < 0 || n[0] >= d.rows || n[1] < 0 || n[1] >= d.cols) {
-              continue;
-            }
-            const int ncell = d.cell(n[0], n[1]);
-            if (defined[static_cast<std::size_t>(ncell)]) {
-              sources.push_back(reach[static_cast<std::size_t>(ncell)]);
-            }
-          }
-          if (rr == 0) {
-            sources.push_back(val(cell));  // top plate feeds every round
-          }
-          if (sources.empty()) {
-            continue;  // provably unreachable at this depth
-          }
-          const sat::lit rk = sat::lit::make(b.formula.new_var());
-          // rk -> val[cell]; rk -> OR(sources); val & source -> rk.
-          b.formula.add_binary(~rk, val(cell));
-          std::vector<sat::lit> or_clause;
-          or_clause.push_back(~rk);
-          for (const sat::lit s : sources) {
-            or_clause.push_back(s);
-            b.formula.add_ternary(~val(cell), ~s, rk);
-          }
-          b.formula.add_clause(or_clause);
-          next[static_cast<std::size_t>(cell)] = rk;
-          next_defined[static_cast<std::size_t>(cell)] = true;
+      // Output constraint on the bottom row at the final level.
+      std::vector<sat::lit> bottom;
+      for (int c = 0; c < d.cols; ++c) {
+        const int cell = d.cell(d.rows - 1, c);
+        if (defined[static_cast<std::size_t>(cell)]) {
+          bottom.push_back(reach[static_cast<std::size_t>(cell)]);
         }
       }
-      reach = std::move(next);
-      defined = std::move(next_defined);
+      if (target_.function().get(e)) {
+        if (bottom.empty()) {
+          // No top-to-bottom connection exists in this grid at all; the
+          // group is contradictory by construction. Assert it as such so
+          // later probes of the same dims get the same instant answer.
+          add({});
+        } else {
+          emitter.add(bottom);
+        }
+      } else {
+        for (const sat::lit l : bottom) {
+          add({~l});
+        }
+      }
     }
 
-    // Output constraint on the bottom row at the final level.
-    std::vector<sat::lit> bottom;
-    for (int c = 0; c < d.cols; ++c) {
-      const int cell = d.cell(d.rows - 1, c);
-      if (defined[static_cast<std::size_t>(cell)]) {
-        bottom.push_back(reach[static_cast<std::size_t>(cell)]);
-      }
-    }
-    if (target.function().get(e)) {
-      if (bottom.empty()) {
-        result.status = lm_status::unrealizable;  // no connection possible
-        return result;
-      }
-      b.formula.add_clause(bottom);
-    } else {
-      for (const sat::lit l : bottom) {
-        b.formula.add_unit(~l);
-      }
-    }
+    result.encoding.num_vars =
+        static_cast<std::uint64_t>(delta.num_vars() - vars_before);
+    result.encoding.num_clauses = core_clauses + delta.num_clauses();
+    JANUS_CHECK(solver_.add_cnf(delta));
+    groups_.emplace(key, activation);
   }
-
-  result.encoding.num_vars = static_cast<std::uint64_t>(b.formula.num_vars());
-  result.encoding.num_clauses = b.formula.num_clauses();
   result.encode_seconds = encode_clock.seconds();
 
-  stopwatch solve_clock;
-  sat::solver s;
-  if (!s.add_cnf(b.formula)) {
-    result.status = lm_status::unrealizable;
-    result.solve_seconds = solve_clock.seconds();
-    return result;
+  std::vector<sat::lit> assumptions;
+  assumptions.reserve(groups_.size());
+  assumptions.push_back(activation);
+  for (const auto& [other_key, other] : groups_) {
+    if (other_key != key) {
+      assumptions.push_back(~other);
+    }
   }
-  s.set_deadline(budget.tightened(options.sat_time_limit_s));
-  if (options.conflict_budget >= 0) {
-    s.set_conflict_budget(options.conflict_budget);
-  }
-  const sat::solve_result verdict = s.solve();
-  result.solve_seconds = solve_clock.seconds();
 
-  switch (verdict) {
+  const session_solve_outcome solved = solve_session_step(
+      solver_, assumptions, budget, options.sat_time_limit_s,
+      options.conflict_budget, options.exec.cancel);
+  result.solver = solved.delta;
+  result.solve_seconds = solved.seconds;
+
+  switch (solved.verdict) {
     case sat::solve_result::unsat:
       result.status = lm_status::unrealizable;
+      result.definitely_unrealizable = true;  // no heuristic rules involved
       break;
     case sat::solve_result::unknown:
-      result.status = lm_status::unknown;
+      result.status = options.exec.cancel.cancelled() ? lm_status::cancelled
+                                                      : lm_status::unknown;
       break;
     case sat::solve_result::sat: {
-      lattice::lattice_mapping mapping(d, target.num_vars());
-      for (int cell = 0; cell < b.num_cells; ++cell) {
-        for (std::size_t j = 0; j < b.tl.size(); ++j) {
-          if (s.model_bool(b.map_lit(cell, j).variable())) {
-            mapping.cells()[static_cast<std::size_t>(cell)] = b.tl[j];
-            break;
-          }
-        }
-      }
+      lattice::lattice_mapping mapping = decode_mapping(
+          solver_, layout_, tl_, d, target_.num_vars(), /*dual_side=*/false);
       if (options.verify_model) {
-        JANUS_CHECK_MSG(mapping.realizes(target.function()),
+        JANUS_CHECK_MSG(mapping.realizes(target_.function()),
                         "reachability model fails ground-truth verification");
       }
       result.mapping = std::move(mapping);
@@ -185,6 +204,12 @@ lm_result solve_lm_reachability(const target_spec& target, const dims& d,
     }
   }
   return result;
+}
+
+lm_result solve_lm_reachability(const target_spec& target, const dims& d,
+                                const lm_options& options, deadline budget) {
+  reach_session session(target, options.encode);
+  return session.probe(d, options, budget);
 }
 
 }  // namespace janus::lm

@@ -7,6 +7,7 @@
 // (b) serialize to DIMACS for external inspection.
 #pragma once
 
+#include <algorithm>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -25,6 +26,12 @@ class cnf {
 
   /// Allocate `n` fresh variables; returns the first.
   var new_vars(int n);
+
+  /// Raise the variable count to at least `n`. Incremental sessions use this
+  /// to start a delta formula's numbering above an existing solver's
+  /// variables, so the delta's clauses may reference both old and new vars
+  /// and solver::add_cnf loads it without renumbering.
+  void ensure_vars(int n) { num_vars_ = std::max(num_vars_, n); }
 
   [[nodiscard]] int num_vars() const { return num_vars_; }
   [[nodiscard]] std::size_t num_clauses() const { return clause_starts_.size(); }

@@ -2,8 +2,35 @@
 //
 // The paper solves each lattice-mapping (LM) instance with glucose 4.1 under a
 // wall-clock limit, treating a timeout as "unrealizable". This solver provides
-// the same contract: solve() returns sat / unsat / unknown, where unknown
-// means a budget (time, conflicts or propagations) expired.
+// the same verdict contract — solve() returns sat / unsat / unknown, where
+// unknown means a budget (time, conflicts or propagations) expired or the
+// external stop flag fired — and, like glucose, it is *incremental*: one
+// instance answers a whole sequence of solve(assumptions) calls over a
+// growing formula (the dichotomic ladder drives it through lm::lm_session).
+//
+// The incremental contract:
+//   * What persists across solve() calls: the clause database including every
+//     learned clause (subject to the usual LBD-based reduction), variable
+//     activities, saved phases, and the cumulative `stats()` counters. A
+//     later call on a related instance therefore starts from everything the
+//     earlier calls derived — this is the whole point of session reuse.
+//   * When add_clause()/add_cnf()/new_var() are legal: any time the solver is
+//     at decision level 0, i.e. before the first solve() and between solve()
+//     calls (every solve() backtracks to level 0 before returning, including
+//     on cancellation). Never from inside a solve().
+//   * Assumption lifetime: the `assumptions` span is copied at the start of
+//     solve() and holds for that call only; the next call starts from a clean
+//     slate. After an unsat answer, conflict_core() names the subset of the
+//     call's assumptions (negated) that the refutation actually used; it is
+//     invalidated by the next solve().
+//   * unknown is non-destructive: a cancelled or out-of-budget call keeps
+//     every learned clause, so re-solving after an aborted attempt resumes
+//     from the knowledge already paid for (asserted by
+//     tests/test_incremental.cpp).
+//   * solve() with an empty assumption set that returns unsat makes the
+//     solver permanently unsat (`okay()` turns false): the formula itself is
+//     contradictory and no later call can succeed. Assumption-relative unsat
+//     answers do NOT poison the solver.
 //
 // Implemented techniques:
 //   * two-literal watching with blocker literals,
@@ -53,6 +80,22 @@ inline solver_stats& operator+=(solver_stats& lhs, const solver_stats& rhs) {
   return lhs;
 }
 
+/// Counter delta between two snapshots of ONE solver's cumulative stats()
+/// (`after - before`); incremental sessions use it to attribute work to the
+/// individual solve() call in between. `after` must dominate `before`.
+inline solver_stats operator-(const solver_stats& after,
+                              const solver_stats& before) {
+  solver_stats d;
+  d.decisions = after.decisions - before.decisions;
+  d.propagations = after.propagations - before.propagations;
+  d.conflicts = after.conflicts - before.conflicts;
+  d.restarts = after.restarts - before.restarts;
+  d.learned_clauses = after.learned_clauses - before.learned_clauses;
+  d.removed_clauses = after.removed_clauses - before.removed_clauses;
+  d.minimized_literals = after.minimized_literals - before.minimized_literals;
+  return d;
+}
+
 /// Tunables; defaults follow MiniSat/glucose conventions.
 struct solver_options {
   double var_decay = 0.95;
@@ -77,10 +120,15 @@ class solver {
   [[nodiscard]] int num_vars() const { return static_cast<int>(assigns_.size()); }
 
   /// Add a clause; returns false if the formula became trivially unsat.
+  /// Legal before the first solve() and between solve() calls (the solver is
+  /// then at decision level 0) — the hook incremental sessions use to extend
+  /// the formula with new guarded clause groups mid-ladder.
   bool add_clause(std::span<const lit> lits);
   bool add_clause(std::initializer_list<lit> lits);
 
-  /// Load a whole CNF (allocates variables as needed).
+  /// Load a whole CNF (allocates variables as needed). Same legality rule as
+  /// add_clause(); clauses over already-existing variables compose with
+  /// everything learned so far.
   bool add_cnf(const cnf& formula);
 
   /// Budgets: any expired budget makes solve() return `unknown`.
@@ -98,6 +146,11 @@ class solver {
     return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
   }
 
+  /// Decide the current formula (optionally under assumptions). May be
+  /// called repeatedly; learned clauses, activities and phases carry over
+  /// from call to call. Budgets (`set_*_budget`, `set_deadline`) apply per
+  /// call, measured from the call's starting counters. The assumption span
+  /// only needs to live for the duration of the call.
   [[nodiscard]] solve_result solve() { return solve({}); }
   [[nodiscard]] solve_result solve(std::span<const lit> assumptions);
 
@@ -111,7 +164,11 @@ class solver {
   }
 
   /// Subset of the assumptions sufficient for unsatisfiability, after
-  /// solve(assumptions) == unsat (the "final conflict", negated).
+  /// solve(assumptions) == unsat (the "final conflict": each entry is the
+  /// negation of one assumption that the refutation used). Valid until the
+  /// next solve() call. An empty core means the formula is unsat regardless
+  /// of any assumptions. lm_session reads it to tell rule-induced UNSAT from
+  /// genuine unrealizability (core-guided dimension pruning).
   [[nodiscard]] const std::vector<lit>& conflict_core() const { return conflict_core_; }
 
   [[nodiscard]] const solver_stats& stats() const { return stats_; }

@@ -48,6 +48,7 @@ batch_result synthesize_batch(std::span<const lm::target_spec> targets,
   for (const janus_result& r : batch.results) {
     batch.solver_totals += r.sat_totals;
     batch.total_probes += r.probes.size();
+    batch.pruned_probes += r.pruned_probes;
     if (r.solution.has_value()) {
       ++batch.solved;
       batch.total_switches += r.solution_size();

@@ -43,6 +43,9 @@ struct batch_result {
   std::vector<janus_result> results;  ///< input order, one per target
   sat::solver_stats solver_totals;    ///< summed over all dichotomic probes
   std::uint64_t total_probes = 0;
+  /// Probes answered from the UNSAT frontiers without solving (incremental
+  /// mode; 0 in scratch mode), summed over all targets.
+  std::uint64_t pruned_probes = 0;
   int solved = 0;  ///< targets that produced a verified solution
   int total_switches = 0;  ///< sum of solution sizes over solved targets
   bool hit_time_limit = false;  ///< any target hit a deadline

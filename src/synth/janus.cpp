@@ -149,6 +149,29 @@ std::optional<lattice_mapping> janus_synthesizer::probe_step(
   std::vector<probe_outcome> outcomes(n);
   std::vector<std::uint8_t> probed(n, 0);
 
+  // Core-guided pruning: candidates dominated by the session pool's UNSAT
+  // frontier are already decided — probe them inline (no SAT work: solve_lm
+  // answers from the frontier instantly) instead of spawning tasks.
+  // Realizability is monotone in rows and columns, and only rule-free
+  // (genuine) UNSATs enter the frontier, so the answer matches what a
+  // scratch probe would return; going through probe() keeps the memo and
+  // from_cache dedup semantics in one place, so a dims re-listed by a later
+  // step is neither re-logged nor re-counted.
+  std::vector<std::uint8_t> pruned(n, 0);
+  if (sessions_ != nullptr) {
+    lm::lm_options lm_options = options_.lm;
+    lm_options.exec.pool = nullptr;
+    lm_options.exec.cancel = options_.exec.cancel;
+    lm_options.sessions = sessions_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sessions_->known_unrealizable(candidates[i])) {
+        outcomes[i] = probe(target, candidates[i], budget, lm_options);
+        probed[i] = 1;
+        pruned[i] = 1;
+      }
+    }
+  }
+
   if (pool == nullptr) {
     // Sequential jobs=1 fallback: canonical order, stop at the first
     // realizable candidate — by construction the same winner the parallel
@@ -156,7 +179,11 @@ std::optional<lattice_mapping> janus_synthesizer::probe_step(
     lm::lm_options lm_options = options_.lm;
     lm_options.exec.pool = nullptr;
     lm_options.exec.cancel = options_.exec.cancel;  // aborts in-flight solves
+    lm_options.sessions = sessions_;
     for (std::size_t i = 0; i < n; ++i) {
+      if (pruned[i] != 0) {
+        continue;
+      }
       if (budget.expired() || options_.exec.cancel.cancelled()) {
         break;
       }
@@ -179,10 +206,14 @@ std::optional<lattice_mapping> janus_synthesizer::probe_step(
     std::size_t best_rank = n;
     exec::task_group group(pool);
     for (std::size_t i = 0; i < n; ++i) {
+      if (pruned[i] != 0) {
+        continue;
+      }
       group.run([&, i] {
         lm::lm_options lm_options = options_.lm;
         lm_options.exec.pool = pool;
         lm_options.exec.cancel = stops[i].token();
+        lm_options.sessions = sessions_;
         outcomes[i] = probe(target, candidates[i], budget, lm_options);
         probed[i] = 1;
         if (outcomes[i].result.status == lm::lm_status::realizable) {
@@ -227,6 +258,16 @@ janus_result janus_synthesizer::run(const target_spec& target) {
     sat_totals_ = {};
   }
   const deadline budget = deadline::in_seconds(options_.time_limit_s);
+
+  // The incremental session pool of this run: persistent per-(target, side)
+  // solvers for the dichotomic probes plus the shared UNSAT frontier. Scoped
+  // to the run — `target` outlives it, and the next run starts fresh.
+  lm::lm_session_pool session_pool(target, options_.lm.encode);
+  struct session_scope {
+    lm::lm_session_pool** slot;
+    ~session_scope() { *slot = nullptr; }
+  } scope{&sessions_};
+  sessions_ = options_.incremental ? &session_pool : nullptr;
 
   // Constant functions need a single switch hard-wired to 0 or 1.
   if (target.is_constant()) {
@@ -303,6 +344,8 @@ janus_result janus_synthesizer::run(const target_spec& target) {
     std::lock_guard<std::mutex> lock(memo_mutex_);
     result.sat_totals = sat_totals_;
   }
+  result.pruned_probes = session_pool.pruned_probes();
+  result.sessions_created = session_pool.sessions_created();
   result.seconds = total_clock.seconds();
   return result;
 }
@@ -365,10 +408,14 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
     return std::nullopt;  // composition invariant violated (degenerate case)
   }
 
-  // Step 3: explore alternative realizations with fewer rows.
+  // Step 3: explore alternative realizations with fewer rows. The row
+  // ladder probes each sub-function on a sequence of related dims — the
+  // session sweet spot — so each part gets its own incremental pool.
   lm::lm_options probe_options = options_.lm;
   probe_options.sat_time_limit_s =
       std::min(probe_options.sat_time_limit_s, 20.0);
+  lm::lm_session_pool g_sessions(gt, options_.lm.encode);
+  lm::lm_session_pool h_sessions(ht, options_.lm.encode);
   int bc = combined.size();
   int br = combined.grid().rows;
   while (br > 2 && !budget.expired()) {
@@ -378,6 +425,10 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
     std::optional<lattice_mapping> new_h;
     for (lattice_mapping* part : {&part_g, &part_h}) {
       const target_spec& spec = (part == &part_g) ? gt : ht;
+      probe_options.sessions =
+          !options_.incremental ? nullptr
+          : (part == &part_g)   ? &g_sessions
+                                : &h_sessions;
       std::optional<lattice_mapping> found;
       if (part->grid().rows > target_rows) {
         // Taller part: widen until it fits at the reduced height.

@@ -37,6 +37,15 @@ struct janus_options {
   int jobs = 1;
   exec::context exec;  ///< shared pool + external cancellation (optional)
 
+  /// Drive the dichotomic probes through incremental SAT sessions (one
+  /// persistent solver per (target, side), learned clauses kept across the
+  /// ladder, rule-free UNSAT cores pruning dominated candidates). Off =
+  /// scratch mode: fresh encoder + solver per probe. Both modes produce
+  /// bit-identical bounds and solution sizes (tests/test_incremental.cpp);
+  /// session mode spends fewer conflicts/propagations per ladder
+  /// (bench/bench_incremental.cpp).
+  bool incremental = true;
+
   // Upper-bound methods in play. JANUS uses all six; the exact/approx [6]
   // baselines use only the first three ("oub" in Table II).
   bool use_dp = true;
@@ -69,6 +78,13 @@ struct janus_result {
   std::vector<probe_record> probes;
   /// SAT counters summed over every dichotomic probe (all race sides).
   sat::solver_stats sat_totals;
+  /// Dichotomic-ladder probes answered from the UNSAT frontier without
+  /// solving (session mode). Counts the run-level pool only — like
+  /// `sat_totals`, this covers the ladder, not the DS / MF sub-ladders
+  /// (which use their own per-subtarget pools).
+  std::uint64_t pruned_probes = 0;
+  /// Incremental sessions created by the ladder's pool (0 in scratch mode).
+  std::uint64_t sessions_created = 0;
 
   [[nodiscard]] int solution_size() const {
     return solution ? solution->size() : 0;
@@ -126,7 +142,9 @@ class janus_synthesizer {
   /// concurrently when `pool` is non-null — and return the realization of
   /// the first candidate (in canonical order) that is realizable. A SAT
   /// answer cancels every candidate ranked after it; lower-ranked probes
-  /// always finish, keeping the selected winner deterministic.
+  /// always finish, keeping the selected winner deterministic. In session
+  /// mode, candidates dominated by the UNSAT frontier are answered
+  /// unrealizable up front (logged with zero solve time) instead of probed.
   std::optional<lattice::lattice_mapping> probe_step(
       const lm::target_spec& target, int mp, deadline budget,
       exec::thread_pool* pool, std::vector<probe_record>& log);
@@ -136,6 +154,9 @@ class janus_synthesizer {
   std::mutex memo_mutex_;  // guards probe_memo_ and sat_totals_
   std::map<std::pair<int, int>, lm::lm_result> probe_memo_;
   sat::solver_stats sat_totals_;
+  /// Incremental session pool of the in-flight run() (null in scratch mode
+  /// or outside run()); probes lease solvers from here.
+  lm::lm_session_pool* sessions_ = nullptr;
 };
 
 }  // namespace janus::synth

@@ -1,6 +1,7 @@
 #include "synth/janus_mf.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/log.hpp"
 
@@ -48,6 +49,17 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
   lm::lm_options probe_options = options.lm;
   probe_options.sat_time_limit_s =
       std::min(probe_options.sat_time_limit_s, 30.0);
+  // One incremental session pool per output, persistent across the whole
+  // height sweep: every (rows, cols) probe of output i reuses the same
+  // solvers and UNSAT frontier.
+  std::vector<std::unique_ptr<lm::lm_session_pool>> session_pools;
+  session_pools.reserve(targets.size());
+  for (const target_spec& t : targets) {
+    session_pools.push_back(
+        options.incremental
+            ? std::make_unique<lm::lm_session_pool>(t, options.lm.encode)
+            : nullptr);
+  }
   const int max_rows = result.straightforward.grid().grid().rows;
   for (int rows = 2; rows < max_rows && !budget.expired(); ++rows) {
     std::vector<lattice_mapping> fitted;
@@ -56,6 +68,7 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
     int total_cols = static_cast<int>(targets.size()) - 1;
     for (std::size_t i = 0; i < targets.size() && feasible; ++i) {
       const lattice_mapping& part = parts[i];
+      probe_options.sessions = session_pools[i].get();
       std::optional<lattice_mapping> found;
       if (part.grid().rows <= rows) {
         found = part.padded_to_rows(rows);

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check that code references in the documentation are not dangling.
+
+Scans docs/*.md and README.md for three kinds of reference and fails (exit 1)
+on any that no longer matches the tree:
+
+  1. Backticked paths: `src/lm/encoding.cpp` — the file must exist.
+  2. Backticked file:line spans: `src/sat/solver.hpp:42` — the file must
+     exist and have at least that many lines.
+  3. Backticked file:symbol spans: `src/lm/encoding.cpp:lm_emitter::emit_entry`
+     — the file must exist and contain the symbol's last component.
+  4. Relative markdown links: [text](docs/cli.md) or [text](../README.md) —
+     the target must exist (resolved against the referencing file).
+
+Symbols mentioned bare (`lm_session_pool`, `solve_lm`) are NOT checked — only
+spans that name a file pin themselves to the tree. Keep doc references in one
+of the pinned forms when you want CI to guard them.
+
+Usage: python3 tools/check_docs.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CODE_EXTENSIONS = (
+    ".cpp", ".hpp", ".h", ".py", ".md", ".txt", ".yml", ".yaml", ".json",
+    ".pla", ".cmake",
+)
+PATH_RE = re.compile(r"`([A-Za-z0-9_.\-/]+(?:\.[A-Za-z0-9]+))(?::([A-Za-z0-9_:~]+))?`")
+LINK_RE = re.compile(r"\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def check_file(doc: Path, root: Path) -> list[str]:
+    errors = []
+    text = doc.read_text(encoding="utf-8")
+
+    for match in PATH_RE.finditer(text):
+        path_part, anchor = match.group(1), match.group(2)
+        if "/" not in path_part or not path_part.endswith(CODE_EXTENSIONS):
+            continue  # `foo.bar` prose, version numbers, etc.
+        line_no = text[: match.start()].count("\n") + 1
+        where = f"{doc.relative_to(root)}:{line_no}"
+        target = root / path_part
+        if not target.is_file():
+            errors.append(f"{where}: dangling file reference `{path_part}`")
+            continue
+        if anchor is None:
+            continue
+        if anchor.isdigit():
+            num_lines = sum(1 for _ in target.open(encoding="utf-8"))
+            if int(anchor) > num_lines:
+                errors.append(
+                    f"{where}: `{path_part}:{anchor}` is beyond the file's "
+                    f"{num_lines} lines"
+                )
+        else:
+            # Qualified symbols pin on their last component (the declaration
+            # site rarely spells the full qualification).
+            needle = anchor.split("::")[-1].lstrip("~")
+            if needle not in target.read_text(encoding="utf-8"):
+                errors.append(
+                    f"{where}: symbol `{anchor}` not found in {path_part}"
+                )
+
+    for match in LINK_RE.finditer(text):
+        link = match.group(1)
+        if re.match(r"^[a-z]+://", link) or link.startswith("mailto:"):
+            continue
+        line_no = text[: match.start()].count("\n") + 1
+        where = f"{doc.relative_to(root)}:{line_no}"
+        target = (doc.parent / link).resolve()
+        if not target.exists():
+            errors.append(f"{where}: broken link ({link})")
+
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    docs = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    docs = [d for d in docs if d.is_file()]
+    if not docs:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+
+    errors = []
+    checked = 0
+    for doc in docs:
+        checked += 1
+        errors.extend(check_file(doc, root))
+
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    print(
+        f"check_docs: {checked} files checked, {len(errors)} dangling "
+        f"reference(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

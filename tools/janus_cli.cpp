@@ -16,8 +16,13 @@
 //   -j N, --jobs N worker threads (default 1: fully sequential). N >= 2
 //                  enables the dichotomic probe fan-out, the primal/dual
 //                  race, and batch sharding.
+//   --incremental / --no-incremental
+//                  incremental SAT sessions across the dichotomic ladder
+//                  (default: on). See docs/architecture.md.
 //   -m exact|approx6|exact6|heur11|pc9 algorithm (default: JANUS)
 //   -q / -v        quiet / verbose logging
+//
+// The full reference lives in docs/cli.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +45,7 @@ struct cli_config {
   double time_limit = 60.0;
   double sat_limit = 10.0;
   int jobs = 1;
+  bool incremental = true;
   std::string method = "janus";
   std::string pla_path;
   int pla_output = -1;
@@ -50,7 +56,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: janus <synth|batch|map|bounds|table1> [args] "
                "[-p file.pla] [-o N] [-t sec] [-s sec] [-j jobs] [-m method] "
-               "[-q|-v]\n");
+               "[--incremental|--no-incremental] [-q|-v]\n");
   return 2;
 }
 
@@ -69,6 +75,7 @@ janus::synth::janus_options make_options(const cli_config& cfg) {
   o.time_limit_s = cfg.time_limit;
   o.lm.sat_time_limit_s = cfg.sat_limit;
   o.jobs = cfg.jobs;
+  o.incremental = cfg.incremental;
   return o;
 }
 
@@ -186,13 +193,14 @@ int cmd_batch(const cli_config& cfg) {
                 r.hit_time_limit ? " [time limit]" : "");
   }
   std::printf(
-      "batch: %d/%zu solved, %d switches total, %llu probes, "
-      "%llu conflicts, %llu propagations, %.2fs wall (jobs=%d)\n",
+      "batch: %d/%zu solved, %d switches total, %llu probes (%llu pruned), "
+      "%llu conflicts, %llu propagations, %.2fs wall (jobs=%d, %s)\n",
       b.solved, targets.size(), b.total_switches,
       static_cast<unsigned long long>(b.total_probes),
+      static_cast<unsigned long long>(b.pruned_probes),
       static_cast<unsigned long long>(b.solver_totals.conflicts),
       static_cast<unsigned long long>(b.solver_totals.propagations), b.seconds,
-      cfg.jobs);
+      cfg.jobs, cfg.incremental ? "incremental" : "scratch");
   return b.solved == static_cast<int>(targets.size()) ? 0 : 1;
 }
 
@@ -305,6 +313,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       cfg.jobs = std::max(1, std::atoi(v));
+    } else if (arg == "--incremental") {
+      cfg.incremental = true;
+    } else if (arg == "--no-incremental") {
+      cfg.incremental = false;
     } else if (arg == "-m") {
       const char* v = next();
       if (v == nullptr) return usage();
