@@ -1,0 +1,160 @@
+// The NP-canonical solution cache across process restarts: a Table II batch
+// run twice against one on-disk store.
+//
+// Run 1 starts from an empty store, synthesizes every instance, and persists
+// the store to disk. Run 2 loads the store into a fresh cache and re-runs the
+// identical batch: every target whose class completed in run 1 must be
+// answered from the cache — the bench asserts a hit rate of at least 30% of
+// the targets (the acceptance bar; in practice every completed class hits) —
+// with bit-identical solution sizes. Every hit has already passed the
+// BFS-oracle re-check inside solution_cache::lookup, so a transform bug
+// aborts the bench instead of skewing it. Cross-target hits *within* run 1
+// (NP-equivalent instances, DS sub-functions) are reported as a bonus column.
+//
+// Output: a human summary on stderr and one JSON document on stdout; the same
+// JSON is written to argv[1] (default BENCH_cache.json). argv[2] overrides
+// the store path (default: bench_cache.store, deleted first so the bench
+// always measures a cold first run). JANUS_BENCH_FULL=1 widens the instance
+// set and budgets.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/solution_cache.hpp"
+#include "instances/table2.hpp"
+#include "synth/batch.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using janus::instances::table2_row;
+using janus::instances::table2_rows;
+using janus::lm::target_spec;
+
+std::vector<target_spec> bench_targets(bool full) {
+  const int max_inputs = full ? 8 : 6;
+  const int max_products = full ? 12 : 8;
+  const std::size_t max_instances = full ? 20 : 12;
+  std::vector<target_spec> targets;
+  for (const table2_row& row : table2_rows()) {
+    if (row.inputs <= max_inputs && row.products <= max_products) {
+      targets.push_back(janus::instances::make_table2_instance(row));
+      if (targets.size() >= max_instances) {
+        break;
+      }
+    }
+  }
+  return targets;
+}
+
+janus::synth::batch_result run_batch(const std::vector<target_spec>& targets,
+                                     janus::cache::solution_cache* store,
+                                     bool full) {
+  janus::synth::batch_options o;
+  o.base.time_limit_s = full ? 120.0 : 30.0;
+  o.base.lm.sat_time_limit_s = full ? 30.0 : 10.0;
+  o.base.solutions = store;
+  o.jobs = 1;  // deterministic ordering; the cache itself is thread-safe
+  return janus::synth::synthesize_batch(targets, o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = std::getenv("JANUS_BENCH_FULL") != nullptr;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_cache.json";
+  const std::string store_path = argc > 2 ? argv[2] : "bench_cache.store";
+  std::remove(store_path.c_str());
+
+  const std::vector<target_spec> targets = bench_targets(full);
+
+  janus::cache::solution_cache first_store;
+  const auto first = run_batch(targets, &first_store, full);
+  first_store.save_file(store_path);
+
+  janus::cache::solution_cache second_store;
+  const bool loaded = second_store.load_file(store_path);
+  const auto second = run_batch(targets, &second_store, full);
+
+  bool sizes_match = true;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const bool match = first.results[i].solution_size() ==
+                       second.results[i].solution_size();
+    sizes_match = sizes_match && match;
+    std::fprintf(
+        stderr, "%-12s %2d switches -> %2d switches  %s%s\n",
+        targets[i].name().c_str(), first.results[i].solution_size(),
+        second.results[i].solution_size(),
+        second.results[i].from_cache ? "[cache]" : "[resynthesized]",
+        match ? "" : "  [MISMATCH]");
+  }
+  const double hit_rate =
+      targets.empty() ? 0.0
+                      : static_cast<double>(second.cache_hits) /
+                            static_cast<double>(targets.size());
+  std::fprintf(stderr,
+               "run 1: %llu in-run hits, %llu conflicts, %.2fs; "
+               "run 2: %llu/%zu from store (%.0f%%), %llu conflicts, %.2fs\n",
+               static_cast<unsigned long long>(first.cache_hits),
+               static_cast<unsigned long long>(first.solver_totals.conflicts),
+               first.seconds,
+               static_cast<unsigned long long>(second.cache_hits),
+               targets.size(), 100.0 * hit_rate,
+               static_cast<unsigned long long>(second.solver_totals.conflicts),
+               second.seconds);
+
+  std::string json;
+  char line[512];
+  const auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    json += line;
+  };
+  emit("{\n  \"bench\": \"cache\",\n  \"targets\": %zu,\n", targets.size());
+  emit("  \"store_loaded\": %s,\n", loaded ? "true" : "false");
+  emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
+  emit("  \"run1\": {\"seconds\": %.3f, \"conflicts\": %llu, \"probes\": %llu, "
+       "\"cache_hits\": %llu, \"cache_misses\": %llu},\n",
+       first.seconds, static_cast<unsigned long long>(first.solver_totals.conflicts),
+       static_cast<unsigned long long>(first.total_probes),
+       static_cast<unsigned long long>(first.cache_hits),
+       static_cast<unsigned long long>(first.cache_misses));
+  emit("  \"run2\": {\"seconds\": %.3f, \"conflicts\": %llu, \"probes\": %llu, "
+       "\"cache_hits\": %llu, \"cache_misses\": %llu},\n",
+       second.seconds,
+       static_cast<unsigned long long>(second.solver_totals.conflicts),
+       static_cast<unsigned long long>(second.total_probes),
+       static_cast<unsigned long long>(second.cache_hits),
+       static_cast<unsigned long long>(second.cache_misses));
+  emit("  \"second_run_hit_rate\": %.3f,\n", hit_rate);
+  emit("  \"instances\": [\n");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    emit("    {\"name\": \"%s\", \"run1_switches\": %d, \"run2_switches\": %d, "
+         "\"run2_from_cache\": %s}%s\n",
+         targets[i].name().c_str(), first.results[i].solution_size(),
+         second.results[i].solution_size(),
+         second.results[i].from_cache ? "true" : "false",
+         i + 1 < targets.size() ? "," : "");
+  }
+  emit("  ]\n}\n");
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+
+  if (!sizes_match) {
+    std::fprintf(stderr, "FAIL: solution sizes differ between runs\n");
+    return 1;
+  }
+  if (hit_rate < 0.3) {
+    std::fprintf(stderr, "FAIL: second-run hit rate %.2f below 0.30\n",
+                 hit_rate);
+    return 1;
+  }
+  return 0;
+}

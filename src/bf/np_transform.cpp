@@ -1,0 +1,160 @@
+#include "bf/np_transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace janus::bf {
+
+np_transform np_transform::identity(int num_vars) {
+  JANUS_CHECK(num_vars >= 0 && num_vars <= truth_table::max_vars);
+  np_transform t;
+  t.perm.resize(static_cast<std::size_t>(num_vars));
+  std::iota(t.perm.begin(), t.perm.end(), 0);
+  return t;
+}
+
+bool np_transform::is_identity() const {
+  if (flips != 0) {
+    return false;
+  }
+  for (int i = 0; i < num_vars(); ++i) {
+    if (perm[static_cast<std::size_t>(i)] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+np_transform np_transform::inverse() const {
+  // M(x) sets z_{perm[i]} = x_i ^ flip_i, so the inverse reads
+  // x_i = z_{perm[i]} ^ flip_i: perm' = perm^-1 and flip'_j = flip_{perm'[j]}.
+  np_transform inv;
+  inv.perm.resize(perm.size());
+  for (int i = 0; i < num_vars(); ++i) {
+    inv.perm[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  }
+  for (int j = 0; j < num_vars(); ++j) {
+    if ((flips >> inv.perm[static_cast<std::size_t>(j)]) & 1u) {
+      inv.flips |= std::uint32_t{1} << j;
+    }
+  }
+  return inv;
+}
+
+np_transform np_transform::compose(const np_transform& second,
+                                   const np_transform& first) {
+  JANUS_CHECK(second.num_vars() == first.num_vars());
+  // z_{pi2(pi1(i))} = x_i ^ mu1_i ^ mu2_{pi1(i)}.
+  np_transform t;
+  t.perm.resize(first.perm.size());
+  for (int i = 0; i < first.num_vars(); ++i) {
+    const int mid = first.perm[static_cast<std::size_t>(i)];
+    t.perm[static_cast<std::size_t>(i)] =
+        second.perm[static_cast<std::size_t>(mid)];
+    const bool flip = (((first.flips >> i) & 1u) ^
+                       ((second.flips >> mid) & 1u)) != 0;
+    if (flip) {
+      t.flips |= std::uint32_t{1} << i;
+    }
+  }
+  return t;
+}
+
+std::uint64_t np_transform::map_minterm(std::uint64_t x) const {
+  std::uint64_t z = 0;
+  for (int i = 0; i < num_vars(); ++i) {
+    const std::uint64_t bit = ((x >> i) ^ (flips >> i)) & 1u;
+    z |= bit << perm[static_cast<std::size_t>(i)];
+  }
+  return z;
+}
+
+truth_table np_transform::apply(const truth_table& f) const {
+  JANUS_CHECK_MSG(f.num_vars() == num_vars(),
+                  "np_transform applied to a mismatched truth table");
+  truth_table g(f.num_vars());
+  const std::uint64_t n = f.num_minterms();
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (f.get(x)) {
+      g.set(map_minterm(x), true);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Exhaustive class minimum: every permutation × every flip mask.
+np_canonical canonicalize_exact(const truth_table& f) {
+  const int n = f.num_vars();
+  np_transform t = np_transform::identity(n);
+  np_canonical best{f, t};
+  std::vector<int> perm = t.perm;
+  const std::uint32_t mask_end = std::uint32_t{1} << n;
+  do {
+    t.perm = perm;
+    for (std::uint32_t mask = 0; mask < mask_end; ++mask) {
+      t.flips = mask;
+      truth_table g = t.apply(f);
+      if (g.compare(best.table) < 0) {
+        best.table = std::move(g);
+        best.transform = t;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+/// Greedy descent over the transform space: strictly-improving single-input
+/// flips and pairwise position swaps, iterated to a fixpoint. Deterministic
+/// (fixed move order, strict improvement only), so a given function always
+/// lands on the same representative.
+np_canonical canonicalize_greedy(const truth_table& f) {
+  const int n = f.num_vars();
+  np_transform t = np_transform::identity(n);
+  truth_table cur = f;
+  // Each accepted move lowers the table in a finite total order, so the
+  // descent terminates; the pass cap is a safety net, not a tuning knob.
+  for (int pass = 0; pass < 4 * n + 8; ++pass) {
+    bool improved = false;
+    for (int i = 0; i < n; ++i) {
+      np_transform probe = t;
+      probe.flips ^= std::uint32_t{1} << i;
+      truth_table g = probe.apply(f);
+      if (g.compare(cur) < 0) {
+        cur = std::move(g);
+        t = std::move(probe);
+        improved = true;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        np_transform probe = t;
+        std::swap(probe.perm[static_cast<std::size_t>(i)],
+                  probe.perm[static_cast<std::size_t>(j)]);
+        truth_table g = probe.apply(f);
+        if (g.compare(cur) < 0) {
+          cur = std::move(g);
+          t = std::move(probe);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return {std::move(cur), std::move(t)};
+}
+
+}  // namespace
+
+np_canonical np_canonicalize(const truth_table& f, int exact_max_vars) {
+  np_canonical canon = f.num_vars() <= exact_max_vars ? canonicalize_exact(f)
+                                                      : canonicalize_greedy(f);
+  JANUS_CHECK_MSG(canon.transform.apply(f) == canon.table,
+                  "np_canonicalize produced an inconsistent transform");
+  return canon;
+}
+
+}  // namespace janus::bf

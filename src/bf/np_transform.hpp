@@ -1,0 +1,72 @@
+// NP transforms (input Negation + input Permutation) and NP canonicalization
+// of truth tables.
+//
+// Two targets that differ only by relabeling and/or complementing inputs have
+// switch-for-switch interchangeable lattice realizations, so the solution
+// cache (src/cache/solution_cache.hpp) keys on a per-class canonical
+// representative. Output complementation is deliberately NOT part of the
+// class: a lattice for f does not yield a same-size lattice for f' by a cell
+// rewrite (the known dual construction changes connectivity/orientation), so
+// an N-transform on the output side would be unsound for size-preserving
+// reuse. NP only — every cached hit maps back exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bf/truth_table.hpp"
+
+namespace janus::bf {
+
+/// A signed permutation of the input variables.
+///
+/// Semantics: `apply(f)` is the function g with g(z) = f(x) where each
+/// original variable i reads x_i = z_{perm[i]} ^ ((flips >> i) & 1) — i.e.
+/// variable i is first complemented when its flip bit is set, then relabeled
+/// to position perm[i].
+struct np_transform {
+  std::vector<int> perm;    ///< perm[i] = new position of original var i
+  std::uint32_t flips = 0;  ///< bit i: original var i is complemented
+
+  static np_transform identity(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(perm.size()); }
+  [[nodiscard]] bool is_identity() const;
+
+  /// The transform t' with t'.apply(apply(f)) == f for every f.
+  [[nodiscard]] np_transform inverse() const;
+
+  /// `this` applied after `first`: compose(t2, t1).apply(f) ==
+  /// t2.apply(t1.apply(f)).
+  [[nodiscard]] static np_transform compose(const np_transform& second,
+                                            const np_transform& first);
+
+  /// Transform a whole truth table (operand must match num_vars()).
+  [[nodiscard]] truth_table apply(const truth_table& f) const;
+
+  /// Transform one minterm: the z with bits z_{perm[i]} = x_i ^ flip_i.
+  [[nodiscard]] std::uint64_t map_minterm(std::uint64_t x) const;
+
+  friend bool operator==(const np_transform&, const np_transform&) = default;
+};
+
+/// A canonical representative plus the transform that produced it:
+/// `transform.apply(original) == table` always holds.
+struct np_canonical {
+  truth_table table;
+  np_transform transform;
+};
+
+/// Deterministically canonicalize `f` under NP transforms.
+///
+/// For functions with at most `exact_max_vars` inputs the representative is
+/// the exact class minimum (all n!·2^n transforms enumerated), so two
+/// NP-equivalent functions always canonicalize identically. Beyond that a
+/// deterministic greedy descent (single-input flips and pairwise swaps to a
+/// fixpoint) picks the representative: still sound — the returned transform
+/// genuinely maps f to it — but two equivalent functions may land on
+/// different local minima and miss each other.
+[[nodiscard]] np_canonical np_canonicalize(const truth_table& f,
+                                           int exact_max_vars = 6);
+
+}  // namespace janus::bf

@@ -45,12 +45,37 @@ std::vector<truth_table> pla_file::all_onsets() const {
   return out;
 }
 
+namespace {
+
+[[noreturn]] void pla_fail(int line_no, const std::string& why) {
+  throw check_error("PLA line " + std::to_string(line_no) + ": " + why);
+}
+
+/// Parse a header count via the shared validator (digits-only, range
+/// checked). Raw std::stoi would throw uncaught std::invalid_argument /
+/// std::out_of_range on junk headers (and happily accept "-3"); here every
+/// failure carries the offending line.
+int parse_header_count(const std::string& token, int min, int max, int line_no,
+                       const char* what) {
+  const std::optional<int> value = parse_count(token, min, max);
+  if (!value.has_value()) {
+    pla_fail(line_no, std::string(what) + " is not a count in [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]: '" + token + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
 pla_file read_pla(std::istream& in) {
   pla_file file;
   bool saw_i = false;
   bool saw_o = false;
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
@@ -63,15 +88,20 @@ pla_file read_pla(std::istream& in) {
       const auto tokens = split_ws(t);
       const std::string& key = tokens[0];
       if (key == ".i") {
-        JANUS_CHECK_MSG(tokens.size() == 2, "malformed .i line");
-        file.num_inputs = std::stoi(tokens[1]);
-        JANUS_CHECK_MSG(file.num_inputs > 0 && file.num_inputs <= cube::max_vars,
-                        "unsupported input count");
+        if (tokens.size() != 2) {
+          pla_fail(line_no, "malformed .i line");
+        }
+        file.num_inputs =
+            parse_header_count(tokens[1], 1, cube::max_vars, line_no, ".i count");
         saw_i = true;
       } else if (key == ".o") {
-        JANUS_CHECK_MSG(tokens.size() == 2, "malformed .o line");
-        file.num_outputs = std::stoi(tokens[1]);
-        JANUS_CHECK_MSG(file.num_outputs > 0, "unsupported output count");
+        if (tokens.size() != 2) {
+          pla_fail(line_no, "malformed .o line");
+        }
+        // Any positive width fits a row's output string; cap generously so a
+        // corrupt header cannot demand gigabyte rows.
+        file.num_outputs =
+            parse_header_count(tokens[1], 1, 1 << 20, line_no, ".o count");
         saw_o = true;
       } else if (key == ".ilb") {
         file.input_names.assign(tokens.begin() + 1, tokens.end());
@@ -83,13 +113,19 @@ pla_file read_pla(std::istream& in) {
       // .p, .type and other directives are informational; ignore.
       continue;
     }
-    JANUS_CHECK_MSG(saw_i && saw_o, "PLA cube before .i/.o declarations");
+    if (!saw_i || !saw_o) {
+      pla_fail(line_no, "cube before the .i/.o declarations");
+    }
     const auto tokens = split_ws(t);
-    JANUS_CHECK_MSG(tokens.size() == 2, "PLA row must have input and output parts");
-    JANUS_CHECK_MSG(tokens[0].size() == static_cast<std::size_t>(file.num_inputs),
-                    "PLA input part has wrong width");
-    JANUS_CHECK_MSG(tokens[1].size() == static_cast<std::size_t>(file.num_outputs),
-                    "PLA output part has wrong width");
+    if (tokens.size() != 2) {
+      pla_fail(line_no, "row must have input and output parts");
+    }
+    if (tokens[0].size() != static_cast<std::size_t>(file.num_inputs)) {
+      pla_fail(line_no, "input part has wrong width");
+    }
+    if (tokens[1].size() != static_cast<std::size_t>(file.num_outputs)) {
+      pla_fail(line_no, "output part has wrong width");
+    }
     file.rows.push_back({cube::from_pla(tokens[0]), tokens[1]});
   }
   JANUS_CHECK_MSG(saw_i && saw_o, "PLA file missing .i/.o declarations");

@@ -210,6 +210,19 @@ truth_table truth_table::from_binary_string(const std::string& bits) {
   return t;
 }
 
+int truth_table::compare(const truth_table& rhs) const {
+  if (num_vars_ != rhs.num_vars_) {
+    return num_vars_ < rhs.num_vars_ ? -1 : 1;
+  }
+  // Highest-index minterms are the most significant digits of the order.
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != rhs.words_[i]) {
+      return words_[i] < rhs.words_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
 std::uint64_t truth_table::hash() const {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(num_vars_);
   for (const std::uint64_t w : words_) {

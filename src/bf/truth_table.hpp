@@ -61,6 +61,10 @@ class truth_table {
     return !(a == b);
   }
 
+  /// Total order for canonical-form selection: by num_vars, then by content
+  /// (minterm 0 is the least-significant position). Returns <0, 0 or >0.
+  [[nodiscard]] int compare(const truth_table& rhs) const;
+
   /// True when this function implies `rhs` (this ≤ rhs pointwise).
   [[nodiscard]] bool implies(const truth_table& rhs) const;
 

@@ -15,6 +15,9 @@ using lm::target_spec;
 
 janus_options exact6_options(const janus_options& base) {
   janus_options o = base;
+  // Baselines converge to method-specific sizes; never share the
+  // NP-canonical store with the JANUS pipeline.
+  o.solutions = nullptr;
   o.use_ips = false;
   o.use_idps = false;
   o.use_ds = false;
@@ -26,6 +29,7 @@ janus_options exact6_options(const janus_options& base) {
 
 janus_options approx6_options(const janus_options& base) {
   janus_options o = base;
+  o.solutions = nullptr;  // see exact6_options
   o.use_ips = false;
   o.use_idps = false;
   o.use_ds = false;
@@ -37,6 +41,7 @@ janus_options approx6_options(const janus_options& base) {
 janus_result run_heuristic11(const target_spec& target,
                              const janus_options& base) {
   janus_options o = base;
+  o.solutions = nullptr;  // see exact6_options
   o.use_ips = false;
   o.use_idps = false;
   o.use_ds = false;
@@ -111,6 +116,7 @@ janus_result run_pcircuit9(const target_spec& target,
   const deadline budget = deadline::in_seconds(base.time_limit_s);
 
   janus_options sub = base;
+  sub.solutions = nullptr;  // see exact6_options
   sub.use_ds = false;  // the decomposition itself plays that role
   sub.time_limit_s = base.time_limit_s * 0.45;
 

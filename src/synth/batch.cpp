@@ -49,6 +49,11 @@ batch_result synthesize_batch(std::span<const lm::target_spec> targets,
     batch.solver_totals += r.sat_totals;
     batch.total_probes += r.probes.size();
     batch.pruned_probes += r.pruned_probes;
+    // Constant targets return before the cache is ever consulted
+    // (ub_method "const"), so they belong in neither counter.
+    if (options.base.solutions != nullptr && r.ub_method != "const") {
+      ++(r.from_cache ? batch.cache_hits : batch.cache_misses);
+    }
     if (r.solution.has_value()) {
       ++batch.solved;
       batch.total_switches += r.solution_size();

@@ -46,6 +46,12 @@ struct batch_result {
   /// Probes answered from the UNSAT frontiers without solving (incremental
   /// mode; 0 in scratch mode), summed over all targets.
   std::uint64_t pruned_probes = 0;
+  /// Targets answered from the shared NP-canonical solution cache / targets
+  /// that consulted it and had to run their own ladder. Both stay 0 when
+  /// `base.solutions == nullptr` (no store configured); constant targets
+  /// never consult the store and are counted in neither.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   int solved = 0;  ///< targets that produced a verified solution
   int total_switches = 0;  ///< sum of solution sizes over solved targets
   bool hit_time_limit = false;  ///< any target hit a deadline

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "cache/solution_cache.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 
@@ -90,7 +91,7 @@ janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
     consider(build_dps(target));
   }
   if (options_.use_ips) {
-    consider(build_ips(target, cache_, options_.lm, budget));
+    consider(build_ips(target, cache(), options_.lm, budget));
   }
   if (options_.use_idps) {
     consider(build_idps(target, budget));
@@ -102,7 +103,7 @@ janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
   const int scan_limit = best != nullptr ? best->size() : 64;
   report.lower_bound =
       options_.use_structural_lb
-          ? lower_bound_structural(target, cache_, scan_limit)
+          ? lower_bound_structural(target, cache(), scan_limit)
           : 1;
   return report;
 }
@@ -119,7 +120,7 @@ janus_synthesizer::probe_outcome janus_synthesizer::probe(
     }
   }
   stopwatch clock;
-  lm::lm_result r = lm::solve_lm(target, cache_.get(d), lm_options, budget);
+  lm::lm_result r = lm::solve_lm(target, cache().get(d), lm_options, budget);
   const double seconds = clock.seconds();
   JANUS_LOG(info) << target.name() << ": probe " << d.str() << " -> "
                   << static_cast<int>(r.status) << " ("
@@ -283,6 +284,30 @@ janus_result janus_synthesizer::run(const target_spec& target) {
     return result;
   }
 
+  // NP-canonical cache: an equivalent class solved before (this run, another
+  // output/target sharing the store, or a previous process via the
+  // persistent layer) skips the ladder entirely. lookup() re-verifies the
+  // inverse-transformed mapping against the BFS oracle before returning it.
+  // The canonical form is computed once and reused by the store() after a
+  // missed ladder.
+  std::optional<bf::np_canonical> canon;
+  if (options_.solutions != nullptr) {
+    canon = options_.solutions->canonicalize(target.function());
+    if (std::optional<cache::cached_solution> hit =
+            options_.solutions->lookup(*canon, target.function())) {
+      JANUS_LOG(info) << target.name() << ": answered from the solution cache ("
+                      << hit->mapping.grid().str() << ")";
+      result.lower_bound = hit->lower_bound;
+      result.old_upper_bound = hit->mapping.size();
+      result.new_upper_bound = hit->mapping.size();
+      result.ub_method = "cache";
+      result.from_cache = true;
+      result.solution = std::move(hit->mapping);
+      result.seconds = total_clock.seconds();
+      return result;
+    }
+  }
+
   // The probe fan-out pool: shared when the caller provided one (batch
   // synthesis), created here for a standalone jobs=N run, absent for jobs=1.
   std::unique_ptr<exec::thread_pool> owned_pool;
@@ -296,8 +321,11 @@ janus_result janus_synthesizer::run(const target_spec& target) {
   // Step 1: bounds.
   const bounds_report bounds = compute_bounds(target, budget);
   const bound_solution* best_bound = bounds.best();
-  JANUS_CHECK_MSG(best_bound != nullptr,
-                  "no upper-bound construction succeeded");
+  if (best_bound == nullptr) {
+    throw no_upper_bound_error("no upper-bound construction succeeded for " +
+                               (target.name().empty() ? "target"
+                                                      : target.name()));
+  }
   int oub = 0;
   for (const bound_solution& b : bounds.methods) {
     if (b.method == "DP" || b.method == "PS" || b.method == "DPS") {
@@ -339,6 +367,16 @@ janus_result janus_synthesizer::run(const target_spec& target) {
 
   JANUS_CHECK_MSG(best.realizes(target.function()),
                   "JANUS produced an unverified solution");
+  // Only converged ladders enter the cache: an overall-budget cut leaves
+  // lo < hi, so the reported size is provably not the class's answer. A
+  // converged ladder *is* stored even when individual SAT calls timed out —
+  // timeout-as-UNSAT is the paper's designed approximation and the stored
+  // size is exactly what this run reports; see docs/architecture.md for the
+  // cross-run implications.
+  if (options_.solutions != nullptr && !result.hit_time_limit) {
+    options_.solutions->store(*canon, target.function(), best,
+                              result.lower_bound);
+  }
   result.solution = std::move(best);
   {
     std::lock_guard<std::mutex> lock(memo_mutex_);
@@ -435,7 +473,7 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
         for (int k = part->grid().cols;
              target_rows * k < bc && !budget.expired(); ++k) {
           const lm::lm_result r = lm::solve_lm(
-              spec, cache_.get(dims{target_rows, k}), probe_options, budget);
+              spec, cache().get(dims{target_rows, k}), probe_options, budget);
           if (r.status == lm::lm_status::realizable) {
             found = r.mapping;
             break;
@@ -446,7 +484,7 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
         found = part->padded_to_rows(target_rows);
         for (int k = part->grid().cols - 1; k >= 1 && !budget.expired(); --k) {
           const lm::lm_result r = lm::solve_lm(
-              spec, cache_.get(dims{target_rows, k}), probe_options, budget);
+              spec, cache().get(dims{target_rows, k}), probe_options, budget);
           if (r.status != lm::lm_status::realizable) {
             break;
           }

@@ -21,7 +21,12 @@
 #include "exec/exec.hpp"
 #include "lm/lm_solver.hpp"
 #include "synth/bounds.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
+
+namespace janus::cache {
+class solution_cache;
+}  // namespace janus::cache
 
 namespace janus::synth {
 
@@ -58,6 +63,33 @@ struct janus_options {
 
   /// Structural-scan lower bound (Section III-B); otherwise lb = 1.
   bool use_structural_lb = true;
+
+  /// Optional shared lattice-info (path enumeration) cache. When set, this
+  /// synthesizer probes through it instead of its own private cache, so
+  /// several engines over one workload (JANUS-MF's per-output runs, DS
+  /// children) enumerate each grid's paths once. Thread-safe; the pointer
+  /// must outlive the synthesizer. nullptr = private cache.
+  lm::lattice_info_cache* lattice_info = nullptr;
+
+  /// NP-canonical cross-target solution cache (see
+  /// src/cache/solution_cache.hpp). When set, run() answers NP-equivalent
+  /// targets from the store — the hit is inverse-transformed and re-verified
+  /// against the BFS oracle — and records every completed ladder back into
+  /// it. Shared (thread-safely) by all outputs of a JANUS-MF run, all
+  /// targets of a batch, and — via the persistent layer — across processes.
+  /// nullptr (the default) disables reuse entirely.
+  cache::solution_cache* solutions = nullptr;
+};
+
+/// Thrown by janus_synthesizer::run when no upper-bound construction
+/// produced a verified lattice (every method disabled, or a degenerate
+/// target under an exhausted budget). Distinct from plain check_error so
+/// multi-output drivers can degrade gracefully on exactly this condition
+/// without swallowing genuine invariant failures (unverified solutions,
+/// cache-oracle rejections).
+class no_upper_bound_error : public check_error {
+ public:
+  using check_error::check_error;
 };
 
 /// One dichotomic-search probe, for reporting.
@@ -85,6 +117,10 @@ struct janus_result {
   std::uint64_t pruned_probes = 0;
   /// Incremental sessions created by the ladder's pool (0 in scratch mode).
   std::uint64_t sessions_created = 0;
+  /// Answered from the NP-canonical solution cache: no bounds, no ladder;
+  /// `solution` is the inverse-transformed, oracle-re-verified cached
+  /// mapping and `ub_method` reads "cache".
+  bool from_cache = false;
 
   [[nodiscard]] int solution_size() const {
     return solution ? solution->size() : 0;
@@ -124,7 +160,11 @@ class janus_synthesizer {
       const lm::target_spec& target, deadline budget, int depth);
 
   [[nodiscard]] const janus_options& options() const { return options_; }
-  [[nodiscard]] lm::lattice_info_cache& cache() { return cache_; }
+  /// The lattice-info cache in use: the shared one from
+  /// `janus_options::lattice_info` when set, else this engine's own.
+  [[nodiscard]] lm::lattice_info_cache& cache() {
+    return options_.lattice_info != nullptr ? *options_.lattice_info : cache_;
+  }
 
  private:
   struct probe_outcome {

@@ -20,17 +20,72 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
   stopwatch total_clock;
   const deadline budget = deadline::in_seconds(options.time_limit_s);
 
-  // Part 1: per-output JANUS, then merge with isolation columns.
-  janus_options per_output = options;
-  per_output.time_limit_s =
-      options.time_limit_s / (2.0 * static_cast<double>(targets.size()));
+  // Part 1: per-output JANUS, then merge with isolation columns. Half the
+  // overall budget goes to Part 1; each output gets an equal share of what
+  // actually *remains* of that half when it starts, so slack from fast
+  // outputs flows to the later ones instead of being discarded, and the
+  // floor keeps a tiny total budget from rounding to a useless per-output
+  // sliver.
+  constexpr double kMinOutputBudget = 0.1;
+  const deadline part1_deadline = deadline::in_seconds(options.time_limit_s / 2.0);
+  // One path-enumeration cache for the whole run: the per-output engines
+  // (and their DS children) probe overlapping grids, and Part 2 revisits
+  // them again.
+  lm::lattice_info_cache shared_info(options.max_paths);
   std::vector<lattice_mapping> parts;
   parts.reserve(targets.size());
-  janus_synthesizer engine(per_output);
-  for (const target_spec& t : targets) {
-    const janus_result r = engine.run(t);
-    JANUS_CHECK(r.solution.has_value());
-    parts.push_back(*r.solution);
+  result.output_time_limited.assign(targets.size(), false);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const target_spec& t = targets[i];
+    janus_options per_output = options;
+    per_output.lattice_info = &shared_info;
+    per_output.time_limit_s =
+        std::max(kMinOutputBudget, part1_deadline.remaining_seconds() /
+                                       static_cast<double>(targets.size() - i));
+    std::optional<lattice_mapping> part;
+    bool starved = false;
+    try {
+      janus_synthesizer engine(per_output);
+      janus_result r = engine.run(t);
+      starved = r.hit_time_limit;
+      part = std::move(r.solution);
+    } catch (const no_upper_bound_error& e) {
+      // A starved run can fail outright (no bound construction finished in
+      // time); degrade to the constructive fallback below instead of
+      // aborting the whole multi-output run. Only this specific condition is
+      // absorbed — invariant failures (unverified solutions, cache-oracle
+      // rejections) stay loud.
+      JANUS_LOG(warn) << t.name() << ": part-1 JANUS failed (" << e.what()
+                      << "); falling back to constructive bounds";
+    }
+    if (!part.has_value()) {
+      // DP/PS/DPS are budget-independent constructions: this always yields a
+      // verified (if unoptimized) lattice for the merge — force them on even
+      // when the caller's options disabled them.
+      janus_options fallback = options;
+      fallback.lattice_info = &shared_info;
+      fallback.time_limit_s = kMinOutputBudget;
+      fallback.use_dp = true;
+      fallback.use_ps = true;
+      fallback.use_dps = true;
+      fallback.use_ips = false;
+      fallback.use_idps = false;
+      fallback.use_ds = false;
+      fallback.use_structural_lb = false;
+      fallback.incremental = false;
+      fallback.solutions = nullptr;  // never cache a fallback as final
+      janus_synthesizer rescue(fallback);
+      janus_result r = rescue.run(t);
+      JANUS_CHECK_MSG(r.solution.has_value(),
+                      "constructive fallback produced no lattice");
+      starved = true;
+      part = std::move(r.solution);
+    }
+    if (starved) {
+      result.output_time_limited[i] = true;
+      result.hit_time_limit = true;
+    }
+    parts.push_back(std::move(*part));
   }
   result.straightforward = multi_lattice_mapping::merge(parts);
   result.straightforward_seconds = total_clock.seconds();
@@ -44,7 +99,10 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
                   "straight-forward merge failed verification");
 
   // Part 2: try common heights from 2 upward; per output find the narrowest
-  // realization at that height (seeding from the part-1 solution).
+  // realization at that height (seeding from the part-1 solution). Outputs
+  // whose Part-1 run was budget-starved are never re-solved here: their
+  // block is only ever padded, and a height their block cannot reach without
+  // SAT work is infeasible.
   multi_lattice_mapping best = result.straightforward;
   lm::lm_options probe_options = options.lm;
   probe_options.sat_time_limit_s =
@@ -70,12 +128,16 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
       const lattice_mapping& part = parts[i];
       probe_options.sessions = session_pools[i].get();
       std::optional<lattice_mapping> found;
-      if (part.grid().rows <= rows) {
+      if (result.output_time_limited[i]) {
+        if (part.grid().rows <= rows) {
+          found = part.padded_to_rows(rows);
+        }
+      } else if (part.grid().rows <= rows) {
         found = part.padded_to_rows(rows);
         // Try narrowing.
         for (int k = found->grid().cols - 1; k >= 1 && !budget.expired(); --k) {
           const lm::lm_result r = lm::solve_lm(
-              targets[i], engine.cache().get(dims{rows, k}), probe_options,
+              targets[i], shared_info.get(dims{rows, k}), probe_options,
               budget);
           if (r.status != lm::lm_status::realizable) {
             break;
@@ -88,7 +150,7 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
         for (int k = std::max(1, part.size() / rows);
              k <= max_cols && !budget.expired(); ++k) {
           const lm::lm_result r = lm::solve_lm(
-              targets[i], engine.cache().get(dims{rows, k}), probe_options,
+              targets[i], shared_info.get(dims{rows, k}), probe_options,
               budget);
           if (r.status == lm::lm_status::realizable) {
             found = r.mapping;
@@ -114,6 +176,7 @@ janus_mf_result run_janus_mf(const std::vector<target_spec>& targets,
     }
   }
   result.improved = std::move(best);
+  result.hit_time_limit = result.hit_time_limit || budget.expired();
   result.total_seconds = total_clock.seconds();
   return result;
 }

@@ -19,6 +19,12 @@ struct janus_mf_result {
   lattice::multi_lattice_mapping improved;         ///< part 2 result
   double straightforward_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Any output's Part-1 synthesis was budget-starved (its slot holds the
+  /// constructive fallback and Part 2 never re-solves it), or the overall
+  /// budget expired mid-run. The merged result is still verified.
+  bool hit_time_limit = false;
+  /// Per-output: true when that output's Part-1 run was budget-starved.
+  std::vector<bool> output_time_limited;
 
   [[nodiscard]] int straightforward_size() const {
     return straightforward.size();

@@ -5,6 +5,23 @@
 
 namespace janus {
 
+std::optional<int> parse_count(std::string_view token, int min, int max) {
+  if (token.empty() || token.size() > 9) {  // 9 digits can never overflow int
+    return std::nullopt;
+  }
+  long long value = 0;
+  for (const char ch : token) {
+    if (ch < '0' || ch > '9') {
+      return std::nullopt;
+    }
+    value = value * 10 + (ch - '0');
+  }
+  if (value < min || value > max) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
 std::vector<std::string> split_ws(std::string_view text) {
   std::vector<std::string> out;
   std::size_t i = 0;

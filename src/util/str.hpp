@@ -1,11 +1,18 @@
 // Small string helpers shared by the PLA parser, DIMACS I/O and reporting.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace janus {
+
+/// Parse a strictly-decimal count in [min, max]: digits only (no sign, no
+/// trailing junk, no overflow). Shared by the PLA and solution-cache parsers
+/// so malformed headers fail uniformly. nullopt on any violation.
+[[nodiscard]] std::optional<int> parse_count(std::string_view token, int min,
+                                             int max);
 
 /// Split `text` on any of the whitespace characters, dropping empty tokens.
 [[nodiscard]] std::vector<std::string> split_ws(std::string_view text);

@@ -83,6 +83,36 @@ TEST(Pla, RejectsMalformedInput) {
   EXPECT_THROW((void)read_pla_string(".i 0\n.o 1\n"), check_error);
 }
 
+TEST(Pla, RejectsNonNumericCountsAsParseErrors) {
+  // Regression: these used to escape as raw std::invalid_argument /
+  // std::out_of_range from std::stoi instead of a check_error parse failure.
+  EXPECT_THROW((void)read_pla_string(".i x\n.o 1\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i\n.o 1\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i 2\n.o abc\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i 99999999999999999999\n.o 1\n"),
+               check_error);  // out_of_range before the fix
+  EXPECT_THROW((void)read_pla_string(".i -3\n.o 1\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i 2\n.o -1\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i 2x\n.o 1\n"), check_error);
+  EXPECT_THROW((void)read_pla_string(".i 2 3\n.o 1\n"), check_error);
+}
+
+TEST(Pla, ParseErrorsCarryTheOffendingLineNumber) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      (void)read_pla_string(text);
+    } catch (const check_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of("# comment\n.i bad\n.o 1\n").find("PLA line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of(".i 2\n.o 1\n11 1\n1 1\n").find("PLA line 4"),
+            std::string::npos);
+  EXPECT_NE(message_of("11 1\n").find("PLA line 1"), std::string::npos);
+}
+
 TEST(Pla, IgnoresCommentsAndType) {
   const pla_file f = read_pla_string(
       ".i 2 # inputs\n.o 1\n.type fr\n11 1 # a row\n.end\n");

@@ -19,6 +19,10 @@
 //   --incremental / --no-incremental
 //                  incremental SAT sessions across the dichotomic ladder
 //                  (default: on). See docs/architecture.md.
+//   --cache FILE   persist the NP-canonical solution cache: load FILE when it
+//                  exists, save it back after the run — repeated runs answer
+//                  solved classes without resynthesis
+//   --no-cache     disable solution reuse entirely (also in-memory)
 //   -m exact|approx6|exact6|heur11|pc9 algorithm (default: JANUS)
 //   -q / -v        quiet / verbose logging
 //
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "bf/pla.hpp"
+#include "cache/solution_cache.hpp"
 #include "synth/baselines.hpp"
 #include "synth/batch.hpp"
 #include "synth/janus.hpp"
@@ -46,6 +51,8 @@ struct cli_config {
   double sat_limit = 10.0;
   int jobs = 1;
   bool incremental = true;
+  bool use_cache = true;       ///< in-memory NP-canonical solution reuse
+  std::string cache_path;      ///< optional on-disk persistence (--cache)
   std::string method = "janus";
   std::string pla_path;
   int pla_output = -1;
@@ -56,7 +63,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: janus <synth|batch|map|bounds|table1> [args] "
                "[-p file.pla] [-o N] [-t sec] [-s sec] [-j jobs] [-m method] "
-               "[--incremental|--no-incremental] [-q|-v]\n");
+               "[--incremental|--no-incremental] [--cache file|--no-cache] "
+               "[-q|-v]\n");
   return 2;
 }
 
@@ -79,9 +87,50 @@ janus::synth::janus_options make_options(const cli_config& cfg) {
   return o;
 }
 
+/// The command's solution store: loads `--cache FILE` on construction when
+/// the file exists, saves it back on request. `get()` is null under
+/// `--no-cache`. One scope per command — synth/MF outputs and batch targets
+/// all share it.
+class cli_cache_scope {
+ public:
+  explicit cli_cache_scope(const cli_config& cfg) : cfg_(cfg) {
+    if (cfg_.use_cache && !cfg_.cache_path.empty() &&
+        store_.load_file(cfg_.cache_path)) {
+      std::fprintf(stderr, "janus: loaded %zu cached solution classes from %s\n",
+                   store_.size(), cfg_.cache_path.c_str());
+    }
+  }
+
+  [[nodiscard]] janus::cache::solution_cache* get() {
+    return cfg_.use_cache ? &store_ : nullptr;
+  }
+
+  void save() {
+    if (cfg_.use_cache && !cfg_.cache_path.empty()) {
+      store_.save_file(cfg_.cache_path);
+    }
+  }
+
+  void print_stats() const {
+    if (!cfg_.use_cache) {
+      return;
+    }
+    const auto s = store_.stats();
+    std::printf("cache: %llu hits, %llu misses, %llu stored (%zu classes)\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.stores), store_.size());
+  }
+
+ private:
+  const cli_config& cfg_;
+  janus::cache::solution_cache store_;
+};
+
 janus::synth::janus_result run_method(const cli_config& cfg,
-                                      const target_spec& target) {
-  const auto base = make_options(cfg);
+                                      const target_spec& target,
+                                      janus::cache::solution_cache* store) {
+  auto base = make_options(cfg);
   if (cfg.method == "exact6") {
     janus::synth::janus_synthesizer e(janus::synth::exact6_options(base));
     return e.run(target);
@@ -96,6 +145,9 @@ janus::synth::janus_result run_method(const cli_config& cfg,
   if (cfg.method == "pc9") {
     return janus::synth::run_pcircuit9(target, base);
   }
+  // Only the default JANUS pipeline reads/writes the store: the baselines
+  // converge to method-specific sizes that must not cross-contaminate it.
+  base.solutions = store;
   janus::synth::janus_synthesizer e(base);
   return e.run(target);
 }
@@ -141,25 +193,33 @@ int cmd_synth(const cli_config& cfg) {
     return 1;
   }
 
+  cli_cache_scope cache(cfg);
   if (targets.size() == 1) {
-    const auto r = run_method(cfg, targets[0]);
+    const auto r = run_method(cfg, targets[0], cache.get());
     if (!r.solution.has_value()) {
       std::fprintf(stderr, "janus: no solution within the budget\n");
       return 1;
     }
-    std::printf("%s: %s (%d switches), lb=%d nub=%d, %.2fs%s\n",
+    cache.save();
+    std::printf("%s: %s (%d switches), lb=%d nub=%d, %.2fs%s%s\n",
                 targets[0].name().c_str(), r.solution_dims().c_str(),
                 r.solution_size(), r.lower_bound, r.new_upper_bound,
-                r.seconds, r.hit_time_limit ? " [time limit]" : "");
+                r.seconds, r.hit_time_limit ? " [time limit]" : "",
+                r.from_cache ? " [cache]" : "");
     std::printf("%s", r.solution->str().c_str());
     return 0;
   }
-  const auto mf = janus::synth::run_janus_mf(targets, make_options(cfg));
+  auto mf_options = make_options(cfg);
+  mf_options.solutions = cache.get();
+  const auto mf = janus::synth::run_janus_mf(targets, mf_options);
+  cache.save();
   std::printf("straight-forward: %s (%d switches)\n",
               mf.straightforward.grid().grid().str().c_str(),
               mf.straightforward_size());
-  std::printf("JANUS-MF:         %s (%d switches)\n",
-              mf.improved.grid().grid().str().c_str(), mf.improved_size());
+  std::printf("JANUS-MF:         %s (%d switches)%s\n",
+              mf.improved.grid().grid().str().c_str(), mf.improved_size(),
+              mf.hit_time_limit ? " [time limit]" : "");
+  cache.print_stats();
   std::printf("%s", mf.improved.grid().str().c_str());
   for (int o = 0; o < mf.improved.num_outputs(); ++o) {
     const auto [first, last] = mf.improved.span(o);
@@ -178,29 +238,36 @@ int cmd_batch(const cli_config& cfg) {
   if (targets.empty()) {
     return 1;
   }
+  cli_cache_scope cache(cfg);
   janus::synth::batch_options o;
   o.base = make_options(cfg);
+  o.base.solutions = cache.get();
   o.jobs = cfg.jobs;
   // -t stays the *overall* limit, as documented; targets starting late get
   // whatever remains of it (per-target limit defaults to the same value).
   o.total_time_limit_s = cfg.time_limit;
   const auto b = janus::synth::synthesize_batch(targets, o);
+  cache.save();
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const auto& r = b.results[i];
-    std::printf("%-12s %7s  %3d switches  lb=%-3d nub=%-3d %6.2fs%s\n",
+    std::printf("%-12s %7s  %3d switches  lb=%-3d nub=%-3d %6.2fs%s%s\n",
                 targets[i].name().c_str(), r.solution_dims().c_str(),
                 r.solution_size(), r.lower_bound, r.new_upper_bound, r.seconds,
-                r.hit_time_limit ? " [time limit]" : "");
+                r.hit_time_limit ? " [time limit]" : "",
+                r.from_cache ? " [cache]" : "");
   }
   std::printf(
       "batch: %d/%zu solved, %d switches total, %llu probes (%llu pruned), "
-      "%llu conflicts, %llu propagations, %.2fs wall (jobs=%d, %s)\n",
+      "%llu conflicts, %llu propagations, %.2fs wall (jobs=%d, %s), "
+      "cache: %llu hits / %llu misses\n",
       b.solved, targets.size(), b.total_switches,
       static_cast<unsigned long long>(b.total_probes),
       static_cast<unsigned long long>(b.pruned_probes),
       static_cast<unsigned long long>(b.solver_totals.conflicts),
       static_cast<unsigned long long>(b.solver_totals.propagations), b.seconds,
-      cfg.jobs, cfg.incremental ? "incremental" : "scratch");
+      cfg.jobs, cfg.incremental ? "incremental" : "scratch",
+      static_cast<unsigned long long>(b.cache_hits),
+      static_cast<unsigned long long>(b.cache_misses));
   return b.solved == static_cast<int>(targets.size()) ? 0 : 1;
 }
 
@@ -317,6 +384,14 @@ int main(int argc, char** argv) {
       cfg.incremental = true;
     } else if (arg == "--no-incremental") {
       cfg.incremental = false;
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.cache_path = v;
+      cfg.use_cache = true;
+    } else if (arg == "--no-cache") {
+      cfg.use_cache = false;
+      cfg.cache_path.clear();
     } else if (arg == "-m") {
       const char* v = next();
       if (v == nullptr) return usage();
