@@ -27,8 +27,12 @@ session_solve_outcome solve_session_step(sat::solver& solver,
 }
 
 lm_session::lm_session(const target_spec& target, bool dual_side,
-                       lm_encode_options options)
-    : target_(target), dual_side_(dual_side), options_(options) {
+                       lm_encode_options options,
+                       sat::solver_options solver_options)
+    : target_(target),
+      dual_side_(dual_side),
+      options_(options),
+      solver_(solver_options) {
   tl_ = build_target_literals(target_, dual_side_, options_);
   const bf::truth_table& side_function =
       dual_side_ ? target_.dual_function() : target_.function();
@@ -85,6 +89,7 @@ lm_session::probe_result lm_session::probe(const lattice_info& info,
     emitter.emit_rules();
 
     out.encoding = emitter.stats();
+    const int first_new_var = solver_.num_vars();
     out.encoding.num_vars =
         static_cast<std::uint64_t>(delta.num_vars() - solver_.num_vars());
     out.encoding.num_clauses = delta.num_clauses();
@@ -94,6 +99,13 @@ lm_session::probe_result lm_session::probe(const lattice_info& info,
       out.verdict = sat::solve_result::unsat;
       out.rule_free_unsat = true;
       return out;
+    }
+    // Frozen-variable protocol: every variable this probe introduced — slot
+    // mapping/value variables and the group's activation literals — may be
+    // referenced by later groups' clauses or used as an assumption, so the
+    // inprocessor must never eliminate or substitute it away.
+    for (sat::var v = first_new_var; v < solver_.num_vars(); ++v) {
+      solver_.freeze(v);
     }
     groups_.emplace(key, group);
 
@@ -120,8 +132,24 @@ lm_session::probe_result lm_session::probe(const lattice_info& info,
     }
   }
 
+  // Branching activities tuned on a different geometry mislead this probe's
+  // search (the regression showed up as session-mode conflict counts well
+  // above scratch); reset them when the dims changes, keeping the learned
+  // clauses, which transfer soundly. After a *long* probe, keep them: a big
+  // search leaves a learned-clause DB over the shared slot variables whose
+  // usefulness the activity profile indexes, and wiping it decouples the
+  // branching heuristic from those clauses (measured as a conflict-count
+  // regression on the hard bench targets). The threshold is empirical.
+  constexpr std::uint64_t kKeepActivitiesAfterConflicts = 1000;
+  if (last_probe_key_.first >= 0 && last_probe_key_ != key &&
+      last_probe_conflicts_ < kKeepActivitiesAfterConflicts) {
+    solver_.decay_heuristics(/*rephase=*/false);
+  }
+  last_probe_key_ = key;
+
   const session_solve_outcome solved = solve_session_step(
       solver_, assumptions, budget, sat_time_limit_s, conflict_budget, stop);
+  last_probe_conflicts_ = solved.delta.conflicts;
   out.verdict = solved.verdict;
   out.solver_delta = solved.delta;
   out.solve_seconds = solved.seconds;
@@ -153,7 +181,8 @@ lm_session_pool::lease lm_session_pool::acquire(bool dual_side) {
   }
   ++created_;
   lock.unlock();  // session construction (TL build) needs no pool state
-  return lease(this, std::make_unique<lm_session>(target_, dual_side, options_));
+  return lease(this, std::make_unique<lm_session>(target_, dual_side, options_,
+                                                  solver_options_));
 }
 
 void lm_session_pool::release(std::unique_ptr<lm_session> session) {

@@ -60,6 +60,22 @@
 
 namespace janus::lm {
 
+/// Solver configuration for LM instances: inprocessing on, EMA restarts.
+/// Scratch solves freeze nothing and get the full reduction (bounded
+/// variable elimination included); sessions freeze every interface
+/// variable, so they keep the subsumption / vivification / probing rounds
+/// but skip elimination — the split docs/solver.md describes. The
+/// glucose-style restart policy measurably cooperates with the inprocessing
+/// rounds on the hard lattice instances (quality-driven restarts hit the
+/// round boundaries where simplification pays), where the Luby schedule
+/// with inprocessing regressed the UNSAT probes.
+[[nodiscard]] inline sat::solver_options default_lm_solver_options() {
+  sat::solver_options o;
+  o.inprocess = true;
+  o.restart = sat::restart_policy::ema;
+  return o;
+}
+
 /// The shared solve-side protocol of one incremental probe: apply the
 /// per-call budgets and stop flag, decide under `assumptions`, detach the
 /// stop flag again (the token may die with the call), and report the
@@ -79,7 +95,8 @@ struct session_solve_outcome {
 class lm_session {
  public:
   lm_session(const target_spec& target, bool dual_side,
-             lm_encode_options options);
+             lm_encode_options options,
+             sat::solver_options solver_options = default_lm_solver_options());
 
   /// Everything one incremental probe produced.
   struct probe_result {
@@ -128,6 +145,14 @@ class lm_session {
   sat::solver solver_;
   lm_var_layout layout_;  ///< grows as larger lattices are probed
   std::map<std::pair<int, int>, dims_group> groups_;
+  /// The dims of the previous solve, so probe() can decay branching
+  /// activities when the geometry changes: heuristic state tuned for one
+  /// dims misleads the search on the next (the learned clauses, which
+  /// transfer soundly, are kept). The decay is skipped after a long probe,
+  /// whose activity profile indexes a learned-clause DB worth keeping
+  /// coupled to the branching order; see probe() for the threshold.
+  std::pair<int, int> last_probe_key_{-1, -1};
+  std::uint64_t last_probe_conflicts_ = 0;
 };
 
 /// Per-target registry of sessions plus the shared UNSAT frontier.
@@ -141,8 +166,10 @@ class lm_session {
 class lm_session_pool {
  public:
   /// `target` must outlive the pool (sessions keep references into it).
-  lm_session_pool(const target_spec& target, lm_encode_options options)
-      : target_(target), options_(options) {}
+  lm_session_pool(
+      const target_spec& target, lm_encode_options options,
+      sat::solver_options solver_options = default_lm_solver_options())
+      : target_(target), options_(options), solver_options_(solver_options) {}
 
   lm_session_pool(const lm_session_pool&) = delete;
   lm_session_pool& operator=(const lm_session_pool&) = delete;
@@ -200,6 +227,7 @@ class lm_session_pool {
 
   const target_spec& target_;
   const lm_encode_options options_;
+  const sat::solver_options solver_options_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<lm_session>> idle_[2];  ///< [primal, dual]
   std::size_t created_ = 0;

@@ -61,7 +61,7 @@ side_run run_side(const target_spec& target, const lattice_info& info,
                    << encoder.stats().num_clauses << " clauses";
 
   stopwatch solve_clock;
-  sat::solver s;
+  sat::solver s(options.solver);
   if (!s.add_cnf(encoder.formula())) {
     out.verdict = sat::solve_result::unsat;
     out.solve_seconds = solve_clock.seconds();

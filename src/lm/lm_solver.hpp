@@ -41,6 +41,11 @@ enum class lm_status : std::uint8_t {
 
 struct lm_options {
   lm_encode_options encode;
+  /// SAT solver configuration for every solver this call touches: the
+  /// scratch path constructs its solvers with it, and session pools should
+  /// be constructed with the same value (scratch solves additionally get
+  /// bounded variable elimination, since they freeze no variables).
+  sat::solver_options solver = default_lm_solver_options();
   double sat_time_limit_s = 1200.0;  // the paper's empirically chosen limit
   std::int64_t conflict_budget = -1;
   bool allow_dual_problem = true;

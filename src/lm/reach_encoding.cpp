@@ -21,8 +21,11 @@ lm_encode_options reach_tl_options(lm_encode_options options) {
 }  // namespace
 
 reach_session::reach_session(const target_spec& target,
-                             lm_encode_options options)
-    : target_(target), options_(reach_tl_options(options)) {
+                             lm_encode_options options,
+                             sat::solver_options solver_options)
+    : target_(target),
+      options_(reach_tl_options(options)),
+      solver_(solver_options) {
   tl_ = build_target_literals(target_, /*dual_side=*/false, options_);
   entries_ = target_.function().num_minterms();
   layout_.val_stride = 1;
@@ -44,7 +47,13 @@ std::uint64_t reach_session::ensure_slots(int cells) {
       emitter.emit_links(slot, e);
     }
   }
+  const int first_new_var = solver_.num_vars();
   JANUS_CHECK(solver_.add_cnf(delta));
+  // Core slot variables are referenced by every later dims group: freeze
+  // them so inprocessing never eliminates or substitutes them away.
+  for (sat::var v = first_new_var; v < solver_.num_vars(); ++v) {
+    solver_.freeze(v);
+  }
   return delta.num_clauses();
 }
 
@@ -162,7 +171,11 @@ lm_result reach_session::probe(const dims& d, const lm_options& options,
     result.encoding.num_vars =
         static_cast<std::uint64_t>(delta.num_vars() - vars_before);
     result.encoding.num_clauses = core_clauses + delta.num_clauses();
+    const int first_group_var = solver_.num_vars();
     JANUS_CHECK(solver_.add_cnf(delta));
+    for (sat::var v = first_group_var; v < solver_.num_vars(); ++v) {
+      solver_.freeze(v);  // activation literal + reachability helpers
+    }
     groups_.emplace(key, activation);
   }
   result.encode_seconds = encode_clock.seconds();
@@ -208,7 +221,7 @@ lm_result reach_session::probe(const dims& d, const lm_options& options,
 
 lm_result solve_lm_reachability(const target_spec& target, const dims& d,
                                 const lm_options& options, deadline budget) {
-  reach_session session(target, options.encode);
+  reach_session session(target, options.encode, options.solver);
   return session.probe(d, options, budget);
 }
 

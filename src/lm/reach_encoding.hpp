@@ -31,8 +31,9 @@ namespace janus::lm {
 /// is definitive and is reported with `definitely_unrealizable` set.
 class reach_session {
  public:
-  explicit reach_session(const target_spec& target,
-                         lm_encode_options options = {});
+  explicit reach_session(
+      const target_spec& target, lm_encode_options options = {},
+      sat::solver_options solver_options = default_lm_solver_options());
 
   /// Probe one dims under the usual lm budget knobs.
   [[nodiscard]] lm_result probe(const lattice::dims& d,

@@ -1,0 +1,18 @@
+#include "sat/occurrence.hpp"
+
+namespace janus::sat {
+
+std::uint64_t clause_signature(std::span<const lit> lits) {
+  std::uint64_t sig = 0;
+  for (const lit l : lits) {
+    sig |= std::uint64_t{1} << (static_cast<std::uint32_t>(l.variable()) & 63u);
+  }
+  return sig;
+}
+
+void occurrence_index::reset(int num_vars) {
+  lists_.clear();
+  lists_.resize(static_cast<std::size_t>(num_vars) * 2);
+}
+
+}  // namespace janus::sat

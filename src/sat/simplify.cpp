@@ -1,0 +1,869 @@
+#include "sat/simplify.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace janus::sat {
+
+namespace {
+inline bool is_true(lbool v) { return v == lbool::true_value; }
+inline bool is_false(lbool v) { return v == lbool::false_value; }
+inline bool is_undef(lbool v) { return v == lbool::undef; }
+
+// Backward subsumption skips a clause whose cheapest pivot literal still has
+// an occurrence list longer than this (quadratic blowup guard).
+constexpr std::size_t kOccScanLimit = 1000;
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Round plumbing
+// --------------------------------------------------------------------------
+
+void simplifier::clear_level0_reasons() {
+  // Level-0 assignments are permanent facts; their reason clauses may be
+  // removed or rewritten during the round, so detach them from the trail
+  // (locked() must not pin them and no dangling refs may survive).
+  for (const lit p : s_.trail_) {
+    s_.reason_[static_cast<std::size_t>(p.variable())] = solver::cr_undef;
+  }
+}
+
+bool simplifier::settle() {
+  JANUS_CHECK(s_.decision_level() == 0);
+  if (s_.propagate() != solver::cr_undef) {
+    s_.ok_ = false;
+    return false;
+  }
+  clear_level0_reasons();
+  cleanup_list(s_.clauses_);
+  cleanup_list(s_.learnts_);
+  return s_.ok_;
+}
+
+void simplifier::cleanup_list(std::vector<solver::clause_ref>& list) {
+  std::size_t j = 0;
+  for (const solver::clause_ref c : list) {
+    if (s_.clause_deleted(c)) {
+      continue;
+    }
+    lit* lits = s_.clause_lits(c);
+    const std::uint32_t size = s_.clause_size(c);
+    bool satisfied = false;
+    for (std::uint32_t k = 0; k < size && !satisfied; ++k) {
+      satisfied = is_true(s_.value(lits[k]));
+    }
+    if (satisfied) {
+      s_.remove_clause(c);
+      continue;
+    }
+    // Strip false literals in place. After propagation to fixpoint an
+    // unsatisfied clause has both watched positions unassigned (a false
+    // watch would have moved or made the clause unit), so the first two
+    // literals survive and the watch lists stay valid.
+    std::uint32_t w = 0;
+    for (std::uint32_t k = 0; k < size; ++k) {
+      if (!is_false(s_.value(lits[k]))) {
+        lits[w++] = lits[k];
+      }
+    }
+    JANUS_CHECK(w >= 2);
+    if (w != size) {
+      s_.arena_wasted_ += size - w;
+      s_.arena_[c] = (w << 3) | (s_.arena_[c] & 7u);
+    }
+    list[j++] = c;
+  }
+  list.resize(j);
+}
+
+std::uint32_t simplifier::add_item(solver::clause_ref c) {
+  const auto idx = static_cast<std::uint32_t>(items_.size());
+  const std::span<const lit> lits = s_.clause_span(c);
+  items_.push_back({c, clause_signature(lits)});
+  for (const lit l : lits) {
+    occ_[l].push_back(idx);
+  }
+  return idx;
+}
+
+void simplifier::build_occurrence() {
+  occ_.reset(s_.num_vars());
+  items_.clear();
+  items_.reserve(s_.clauses_.size());
+  for (const solver::clause_ref c : s_.clauses_) {
+    (void)add_item(c);
+  }
+}
+
+void simplifier::finish() {
+  const auto purge = [this](std::vector<solver::clause_ref>& list) {
+    std::size_t j = 0;
+    for (const solver::clause_ref c : list) {
+      if (!s_.clause_deleted(c)) {
+        list[j++] = c;
+      }
+    }
+    list.resize(j);
+  };
+  purge(s_.clauses_);
+  purge(s_.learnts_);
+  s_.garbage_collect_if_needed();
+}
+
+// --------------------------------------------------------------------------
+// Subsumption and self-subsuming resolution
+// --------------------------------------------------------------------------
+
+void simplifier::push_work(std::uint32_t idx) {
+  if (idx >= in_work_.size()) {
+    in_work_.resize(static_cast<std::size_t>(idx) + 1, 0);
+  }
+  if (in_work_[idx] != 0) {
+    return;
+  }
+  in_work_[idx] = 1;
+  work_.push_back(idx);
+}
+
+void simplifier::drain_subsumption() {
+  while (work_head_ < work_.size()) {
+    if (!s_.ok_ || s_.stopped_externally()) {
+      return;
+    }
+    const std::uint32_t idx = work_[work_head_++];
+    in_work_[idx] = 0;
+    backward_subsume(idx);
+  }
+}
+
+void simplifier::backward_subsume(std::uint32_t idx) {
+  const solver::clause_ref cref = items_[idx].cref;
+  if (s_.clause_deleted(cref)) {
+    return;
+  }
+  const std::span<const lit> base = s_.clause_span(cref);
+  // Pivot on the literal with the shortest occurrence list: every superset
+  // of `base` must show up there.
+  lit best = base[0];
+  for (const lit l : base) {
+    if (occ_[l].size() < occ_[best].size()) {
+      best = l;
+    }
+  }
+  if (occ_[best].size() > kOccScanLimit) {
+    return;
+  }
+  next_stamp();
+  for (const lit l : base) {
+    stamp(l);
+  }
+  const std::size_t base_size = base.size();
+  const std::uint64_t sig = items_[idx].sig;
+  auto& cands = occ_[best];
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const std::uint32_t cand = cands[i];
+    if (cand == idx || s_.clause_deleted(items_[cand].cref)) {
+      continue;
+    }
+    if ((sig & ~items_[cand].sig) != 0) {
+      continue;  // base mentions a variable the candidate cannot contain
+    }
+    const std::span<const lit> other = s_.clause_span(items_[cand].cref);
+    if (other.size() < base_size) {
+      continue;
+    }
+    // base subsumes other, or self-subsumes with exactly one flipped literal.
+    std::size_t hits = 0;
+    lit flip = lit_undef;
+    bool fail = false;
+    for (const lit x : other) {
+      if (stamped(x)) {
+        ++hits;
+      } else if (stamped(~x)) {
+        if (!flip.is_undef()) {
+          fail = true;
+          break;
+        }
+        flip = x;
+        ++hits;
+      }
+    }
+    if (fail || hits < base_size) {
+      continue;
+    }
+    if (flip.is_undef()) {
+      s_.remove_clause(items_[cand].cref);
+      ++s_.stats_.subsumed;
+    } else {
+      strengthen_item(cand, flip);
+      if (!s_.ok_) {
+        return;
+      }
+    }
+  }
+}
+
+void simplifier::strengthen_item(std::uint32_t idx, lit p) {
+  item& it = items_[idx];
+  const solver::clause_ref c = it.cref;
+  const std::uint32_t size = s_.clause_size(c);
+  ++s_.stats_.strengthened;
+  s_.detach_clause(c);
+  if (size == 2) {
+    // Shrinks to a unit: promote it to a top-level fact, drop the clause.
+    const lit* lits = s_.clause_lits(c);
+    const lit u = lits[0] == p ? lits[1] : lits[0];
+    s_.arena_[c] |= 1u;  // mark deleted (already detached above)
+    s_.arena_wasted_ += 1 + (s_.clause_learnt(c) ? 2 : 0) + size;
+    ++s_.stats_.removed_clauses;
+    if (is_false(s_.value(u))) {
+      s_.ok_ = false;
+      return;
+    }
+    if (is_undef(s_.value(u))) {
+      s_.unchecked_enqueue(u, solver::cr_undef);
+      if (s_.propagate() != solver::cr_undef) {
+        s_.ok_ = false;
+        return;
+      }
+      clear_level0_reasons();
+    }
+    return;
+  }
+  lit* lits = s_.clause_lits(c);
+  std::uint32_t w = 0;
+  for (std::uint32_t k = 0; k < size; ++k) {
+    if (lits[k] != p) {
+      lits[w++] = lits[k];
+    }
+  }
+  JANUS_CHECK(w == size - 1);
+  s_.arena_[c] = (w << 3) | (s_.arena_[c] & 7u);
+  s_.arena_wasted_ += 1;
+  s_.attach_clause(c);
+  it.sig = clause_signature(s_.clause_span(c));
+  push_work(idx);  // a strengthened clause can subsume further clauses
+}
+
+// --------------------------------------------------------------------------
+// Equivalent-literal substitution (SCCs of the binary implication graph)
+// --------------------------------------------------------------------------
+
+void simplifier::substitute_equivalents() {
+  const auto nn = static_cast<std::size_t>(s_.num_vars()) * 2;
+  std::vector<std::vector<std::int32_t>> adj(nn);
+  const auto add_edges = [&](const std::vector<solver::clause_ref>& list) {
+    for (const solver::clause_ref c : list) {
+      if (s_.clause_deleted(c) || s_.clause_size(c) != 2) {
+        continue;
+      }
+      const lit* cl = s_.clause_lits(c);
+      adj[static_cast<std::size_t>((~cl[0]).code())].push_back(cl[1].code());
+      adj[static_cast<std::size_t>((~cl[1]).code())].push_back(cl[0].code());
+    }
+  };
+  add_edges(s_.clauses_);
+  add_edges(s_.learnts_);
+
+  // Iterative Tarjan over the 2n literal nodes.
+  std::vector<std::int32_t> index(nn, -1);
+  std::vector<std::int32_t> low(nn, 0);
+  std::vector<std::int32_t> comp(nn, -1);
+  std::vector<std::int32_t> scc_stack;
+  std::vector<std::uint8_t> on_stack(nn, 0);
+  std::vector<std::vector<std::int32_t>> comps;
+  std::int32_t next_index = 0;
+  struct frame {
+    std::int32_t node;
+    std::size_t edge;
+  };
+  std::vector<frame> dfs;
+  for (std::size_t root = 0; root < nn; ++root) {
+    if (index[root] != -1 || adj[root].empty()) {
+      continue;  // nodes without successors cannot close a cycle from here
+    }
+    dfs.push_back({static_cast<std::int32_t>(root), 0});
+    while (!dfs.empty()) {
+      frame& f = dfs.back();
+      const std::int32_t u = f.node;
+      if (f.edge == 0) {
+        index[u] = low[u] = next_index++;
+        scc_stack.push_back(u);
+        on_stack[static_cast<std::size_t>(u)] = 1;
+      }
+      bool descended = false;
+      while (f.edge < adj[static_cast<std::size_t>(u)].size()) {
+        const std::int32_t v = adj[static_cast<std::size_t>(u)][f.edge++];
+        if (index[static_cast<std::size_t>(v)] == -1) {
+          dfs.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(v)] != 0) {
+          low[static_cast<std::size_t>(u)] =
+              std::min(low[static_cast<std::size_t>(u)],
+                       index[static_cast<std::size_t>(v)]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (low[static_cast<std::size_t>(u)] == index[static_cast<std::size_t>(u)]) {
+        comps.emplace_back();
+        while (true) {
+          const std::int32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          comp[static_cast<std::size_t>(w)] =
+              static_cast<std::int32_t>(comps.size()) - 1;
+          comps.back().push_back(w);
+          if (w == u) {
+            break;
+          }
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const std::int32_t parent = dfs.back().node;
+        low[static_cast<std::size_t>(parent)] =
+            std::min(low[static_cast<std::size_t>(parent)],
+                     low[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+
+  bool changed = false;
+  for (const auto& members : comps) {
+    if (members.size() < 2) {
+      continue;
+    }
+    // Representative: prefer a frozen variable (it cannot be mapped away),
+    // then the lowest variable index. Detect l ~ ¬l contradictions.
+    std::int32_t rep_code = -1;
+    for (const std::int32_t code : members) {
+      const lit l = lit::from_code(code);
+      if (comp[static_cast<std::size_t>((~l).code())] ==
+          comp[static_cast<std::size_t>(code)]) {
+        s_.ok_ = false;  // l equivalent to its own negation: unsatisfiable
+        return;
+      }
+      if (rep_code == -1) {
+        rep_code = code;
+        continue;
+      }
+      const lit r = lit::from_code(rep_code);
+      const bool lf = s_.is_frozen(l.variable());
+      const bool rf = s_.is_frozen(r.variable());
+      if ((lf && !rf) || (lf == rf && l.variable() < r.variable())) {
+        rep_code = code;
+      }
+    }
+    const lit rep = lit::from_code(rep_code);
+    for (const std::int32_t code : members) {
+      const lit m = lit::from_code(code);
+      const var v = m.variable();
+      if (v == rep.variable() || s_.is_frozen(v) || s_.is_eliminated(v)) {
+        continue;
+      }
+      if (s_.subst_[static_cast<std::size_t>(v)] != lit::make(v)) {
+        continue;  // already mapped (the mirrored SCC lists it again)
+      }
+      const lit target = m.negated() ? ~rep : rep;
+      s_.subst_[static_cast<std::size_t>(v)] = target;
+      auto& ev = s_.reconstruction_.emplace_back();
+      ev.v = v;
+      ev.equivalent = target;
+      ++s_.stats_.substituted_vars;
+      changed = true;
+    }
+  }
+  if (!changed) {
+    return;
+  }
+  rewrite_list(s_.clauses_);
+  if (s_.ok_) {
+    rewrite_list(s_.learnts_);
+  }
+}
+
+void simplifier::rewrite_list(std::vector<solver::clause_ref>& list) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (!s_.ok_) {
+      return;
+    }
+    const solver::clause_ref c = list[i];
+    if (s_.clause_deleted(c)) {
+      continue;
+    }
+    const lit* cl = s_.clause_lits(c);
+    const std::uint32_t size = s_.clause_size(c);
+    bool touched = false;
+    for (std::uint32_t k = 0; k < size && !touched; ++k) {
+      touched = s_.subst_[static_cast<std::size_t>(cl[k].variable())] !=
+                lit::make(cl[k].variable());
+    }
+    if (!touched) {
+      continue;
+    }
+    tmp_.clear();
+    next_stamp();
+    bool drop = false;
+    for (std::uint32_t k = 0; k < size; ++k) {
+      const lit m = s_.resolve_subst(cl[k]);
+      if (is_true(s_.value(m)) || stamped(~m)) {
+        drop = true;  // satisfied, or tautological after the merge
+        break;
+      }
+      if (is_false(s_.value(m)) || stamped(m)) {
+        continue;
+      }
+      stamp(m);
+      tmp_.push_back(m);
+    }
+    if (drop) {
+      s_.remove_clause(c);
+      continue;
+    }
+    if (tmp_.empty()) {
+      s_.remove_clause(c);
+      s_.ok_ = false;
+      return;
+    }
+    if (tmp_.size() == 1) {
+      const lit u = tmp_[0];
+      s_.remove_clause(c);
+      s_.unchecked_enqueue(u, solver::cr_undef);
+      if (s_.propagate() != solver::cr_undef) {
+        s_.ok_ = false;
+        return;
+      }
+      clear_level0_reasons();
+      continue;
+    }
+    const bool learnt = s_.clause_learnt(c);
+    const std::uint32_t lbd = learnt ? s_.clause_lbd(c) : 0;
+    const float act = learnt ? s_.clause_activity(c) : 0.0F;
+    s_.remove_clause(c);
+    const solver::clause_ref fresh = s_.alloc_clause(tmp_, learnt);
+    if (learnt) {
+      s_.set_clause_lbd(fresh, lbd);
+      s_.clause_activity(fresh) = act;
+    }
+    s_.attach_clause(fresh);
+    list[i] = fresh;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Bounded variable elimination (preprocessing only)
+// --------------------------------------------------------------------------
+
+void simplifier::eliminate_variables() {
+  const int n = s_.num_vars();
+  std::vector<std::pair<std::uint32_t, var>> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (var v = 0; v < n; ++v) {
+    if (s_.frozen_[static_cast<std::size_t>(v)] != 0 || s_.var_discarded(v) ||
+        !is_undef(s_.value(v))) {
+      continue;
+    }
+    const std::size_t cnt =
+        occ_[lit::make(v)].size() + occ_[lit::make(v, true)].size();
+    if (cnt == 0) {
+      continue;
+    }
+    order.push_back({static_cast<std::uint32_t>(cnt), v});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [cnt, v] : order) {
+    if (!s_.ok_ || s_.stopped_externally()) {
+      return;
+    }
+    if (!is_undef(s_.value(v))) {
+      continue;  // an earlier elimination's resolvents fixed it
+    }
+    try_eliminate(v);
+  }
+  if (!s_.ok_) {
+    return;
+  }
+  // Learnt clauses over an eliminated variable are implied by the ORIGINAL
+  // formula, not necessarily by the reduced one (which leaves the variable
+  // unconstrained); keeping them would be unsound. Drop them.
+  for (const solver::clause_ref c : s_.learnts_) {
+    if (s_.clause_deleted(c)) {
+      continue;
+    }
+    const std::span<const lit> cl = s_.clause_span(c);
+    bool dead = false;
+    for (const lit l : cl) {
+      if (s_.eliminated_[static_cast<std::size_t>(l.variable())] != 0) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      s_.remove_clause(c);
+    }
+  }
+}
+
+void simplifier::gather(lit l, std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const std::uint32_t idx : occ_[l]) {
+    const solver::clause_ref c = items_[idx].cref;
+    if (s_.clause_deleted(c)) {
+      continue;
+    }
+    bool found = false;
+    for (const lit x : s_.clause_span(c)) {
+      if (x == l) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      out.push_back(idx);  // entries whose literal was strengthened away drop
+    }
+  }
+}
+
+bool simplifier::resolve_pair(solver::clause_ref p, solver::clause_ref n,
+                              var v, std::vector<lit>& out) {
+  out.clear();
+  next_stamp();
+  for (const lit x : s_.clause_span(p)) {
+    if (x.variable() == v) {
+      continue;
+    }
+    stamp(x);
+    out.push_back(x);
+  }
+  for (const lit x : s_.clause_span(n)) {
+    if (x.variable() == v || stamped(x)) {
+      continue;
+    }
+    if (stamped(~x)) {
+      return false;  // tautological resolvent
+    }
+    stamp(x);
+    out.push_back(x);
+  }
+  return true;
+}
+
+void simplifier::try_eliminate(var v) {
+  const lit pl = lit::make(v);
+  gather(pl, pos_);
+  gather(~pl, neg_);
+  const std::size_t before = pos_.size() + neg_.size();
+  if (before == 0) {
+    return;
+  }
+  const auto limit =
+      static_cast<std::size_t>(s_.options_.bve_occurrence_limit);
+  if (pos_.size() > limit || neg_.size() > limit) {
+    return;
+  }
+  // Longest clause being removed: elimination must never produce a clause
+  // longer than the ones it replaces. Longer clauses propagate later, and on
+  // the lattice encodings that measurably lengthens UNSAT proofs even when
+  // the clause *count* shrinks.
+  std::size_t max_parent_len = 0;
+  for (const auto* half : {&pos_, &neg_}) {
+    for (const std::uint32_t idx : *half) {
+      max_parent_len =
+          std::max(max_parent_len,
+                   static_cast<std::size_t>(s_.clause_size(items_[idx].cref)));
+    }
+  }
+  resolvents_.clear();
+  for (const std::uint32_t pi : pos_) {
+    for (const std::uint32_t ni : neg_) {
+      if (!resolve_pair(items_[pi].cref, items_[ni].cref, v, tmp_)) {
+        continue;
+      }
+      if (tmp_.size() >
+              static_cast<std::size_t>(s_.options_.bve_resolvent_limit) ||
+          tmp_.size() > max_parent_len) {
+        return;  // resolvent longer than what it replaces: keep the variable
+      }
+      resolvents_.push_back(tmp_);
+      if (resolvents_.size() + 1 > before) {
+        return;  // elimination must strictly shrink the formula
+      }
+    }
+  }
+  // Commit: save the removed clauses for model reconstruction, then swap
+  // them for the resolvents.
+  auto& ev = s_.reconstruction_.emplace_back();
+  ev.v = v;
+  for (const auto* half : {&pos_, &neg_}) {
+    for (const std::uint32_t idx : *half) {
+      const std::span<const lit> cl = s_.clause_span(items_[idx].cref);
+      ev.clause_sizes.push_back(static_cast<std::uint32_t>(cl.size()));
+      ev.clause_lits.insert(ev.clause_lits.end(), cl.begin(), cl.end());
+    }
+  }
+  for (const auto* half : {&pos_, &neg_}) {
+    for (const std::uint32_t idx : *half) {
+      s_.remove_clause(items_[idx].cref);
+    }
+  }
+  s_.eliminated_[static_cast<std::size_t>(v)] = 1;
+  ++s_.stats_.eliminated_vars;
+  for (const auto& r : resolvents_) {
+    const std::size_t nc = s_.clauses_.size();
+    const std::size_t t0 = s_.trail_.size();
+    if (!s_.add_clause(r)) {
+      return;  // resolvents refuted the formula
+    }
+    if (s_.clauses_.size() > nc) {
+      push_work(add_item(s_.clauses_.back()));
+    }
+    if (s_.trail_.size() != t0) {
+      clear_level0_reasons();  // a unit resolvent propagated
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Failed-literal probing and clause vivification
+// --------------------------------------------------------------------------
+
+void simplifier::probe_failed_literals() {
+  const auto nn = static_cast<std::size_t>(s_.num_vars()) * 2;
+  std::vector<std::uint8_t> has_out(nn, 0);
+  std::vector<std::uint8_t> has_in(nn, 0);
+  const auto mark_edges = [&](const std::vector<solver::clause_ref>& list) {
+    for (const solver::clause_ref c : list) {
+      if (s_.clause_deleted(c) || s_.clause_size(c) != 2) {
+        continue;
+      }
+      const lit* cl = s_.clause_lits(c);
+      has_out[static_cast<std::size_t>((~cl[0]).code())] = 1;
+      has_in[static_cast<std::size_t>(cl[1].code())] = 1;
+      has_out[static_cast<std::size_t>((~cl[1]).code())] = 1;
+      has_in[static_cast<std::size_t>(cl[0].code())] = 1;
+    }
+  };
+  mark_edges(s_.clauses_);
+  mark_edges(s_.learnts_);
+  // Roots of the binary implication graph imply whole subtrees, so probing
+  // them first maximizes what one propagation can refute. Fall back to any
+  // literal with successors when no true root exists (cycle remnants).
+  std::vector<lit> candidates;
+  for (std::size_t code = 0; code < nn; ++code) {
+    const lit l = lit::from_code(static_cast<std::int32_t>(code));
+    if (has_out[code] != 0 && has_in[code] == 0 && is_undef(s_.value(l))) {
+      candidates.push_back(l);
+    }
+  }
+  if (candidates.empty()) {
+    for (std::size_t code = 0; code < nn; ++code) {
+      const lit l = lit::from_code(static_cast<std::int32_t>(code));
+      if (has_out[code] != 0 && is_undef(s_.value(l))) {
+        candidates.push_back(l);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return;
+  }
+  // The persistent ticket rotates the starting point so successive rounds
+  // cover different parts of the graph instead of re-probing the same head.
+  const std::size_t count = std::min(
+      candidates.size(), static_cast<std::size_t>(s_.options_.probes_per_round));
+  for (std::size_t k = 0; k < count; ++k) {
+    if (!s_.ok_ || s_.stopped_externally()) {
+      break;
+    }
+    const lit p = candidates[(s_.probe_ticket_ + k) % candidates.size()];
+    if (!is_undef(s_.value(p))) {
+      continue;
+    }
+    s_.new_decision_level();
+    s_.unchecked_enqueue(p, solver::cr_undef);
+    const bool failed = s_.propagate() != solver::cr_undef;
+    s_.cancel_until(0);
+    if (failed) {
+      ++s_.stats_.probed_failed_lits;
+      s_.unchecked_enqueue(~p, solver::cr_undef);
+      if (s_.propagate() != solver::cr_undef) {
+        s_.ok_ = false;
+        return;
+      }
+      clear_level0_reasons();
+    }
+  }
+  s_.probe_ticket_ += count;
+}
+
+void simplifier::vivify_learnts() {
+  std::vector<solver::clause_ref> cands;
+  for (const solver::clause_ref c : s_.learnts_) {
+    if (s_.clause_deleted(c) || s_.locked(c)) {
+      continue;
+    }
+    const std::uint32_t size = s_.clause_size(c);
+    if (size < 3 ||
+        size > static_cast<std::uint32_t>(s_.options_.vivify_size_limit) ||
+        s_.clause_lbd(c) < 3) {
+      continue;
+    }
+    cands.push_back(c);
+  }
+  // Target the worst (highest-LBD) clauses: they pay the least per watch
+  // step, so shrinking or strengthening them moves the needle most.
+  std::sort(cands.begin(), cands.end(),
+            [this](solver::clause_ref a, solver::clause_ref b) {
+              return s_.clause_lbd(a) > s_.clause_lbd(b);
+            });
+  const std::size_t count = std::min(
+      cands.size(), static_cast<std::size_t>(s_.options_.vivify_per_round));
+  std::vector<lit> lits;
+  std::vector<lit> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!s_.ok_ || s_.stopped_externally()) {
+      return;
+    }
+    const solver::clause_ref c = cands[i];
+    if (s_.clause_deleted(c) || s_.locked(c)) {
+      continue;
+    }
+    const std::uint32_t old_lbd = s_.clause_lbd(c);
+    const float old_act = s_.clause_activity(c);
+    lits.assign(s_.clause_span(c).begin(), s_.clause_span(c).end());
+    // The clause must not propagate against itself while its own negated
+    // literals are assumed, so detach it first.
+    s_.detach_clause(c);
+    out.clear();
+    s_.new_decision_level();
+    for (const lit l : lits) {
+      const lbool lv = s_.value(l);
+      if (is_true(lv)) {
+        out.push_back(l);  // assumed prefix already implies l: stop here
+        break;
+      }
+      if (is_false(lv)) {
+        continue;  // implied-false literal is redundant: drop it
+      }
+      out.push_back(l);
+      s_.unchecked_enqueue(~l, solver::cr_undef);
+      if (s_.propagate() != solver::cr_undef) {
+        break;  // the prefix alone is contradictory with the formula
+      }
+    }
+    s_.cancel_until(0);
+    if (out.size() >= lits.size()) {
+      s_.attach_clause(c);
+      continue;
+    }
+    ++s_.stats_.vivified;
+    s_.arena_[c] |= 1u;  // replaced: mark deleted (already detached)
+    s_.arena_wasted_ += 1 + 2 + lits.size();
+    if (out.empty()) {
+      s_.ok_ = false;
+      return;
+    }
+    if (out.size() == 1) {
+      const lit u = out[0];
+      ++s_.stats_.removed_clauses;
+      if (is_false(s_.value(u))) {
+        s_.ok_ = false;
+        return;
+      }
+      if (is_undef(s_.value(u))) {
+        s_.unchecked_enqueue(u, solver::cr_undef);
+        if (s_.propagate() != solver::cr_undef) {
+          s_.ok_ = false;
+          return;
+        }
+        clear_level0_reasons();
+      }
+      continue;
+    }
+    const solver::clause_ref fresh = s_.alloc_clause(out, /*learnt=*/true);
+    s_.set_clause_lbd(
+        fresh, std::min(old_lbd, static_cast<std::uint32_t>(out.size()) - 1));
+    s_.clause_activity(fresh) = old_act;
+    s_.attach_clause(fresh);
+    s_.learnts_.push_back(fresh);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Entry points
+// --------------------------------------------------------------------------
+
+void simplifier::preprocess() {
+  JANUS_CHECK(s_.decision_level() == 0);
+  lit_stamp_.assign(static_cast<std::size_t>(s_.num_vars()) * 2, 0);
+  if (!settle()) {
+    return;
+  }
+  substitute_equivalents();
+  if (!s_.ok_ || !settle()) {
+    return;
+  }
+  build_occurrence();
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    push_work(i);
+  }
+  drain_subsumption();
+  if (!s_.ok_) {
+    return;
+  }
+  eliminate_variables();
+  if (!s_.ok_) {
+    return;
+  }
+  drain_subsumption();  // resolvents queued during elimination
+  if (!s_.ok_) {
+    return;
+  }
+  s_.subsumption_queue_.clear();  // everything above was just processed
+  finish();
+}
+
+void simplifier::inprocess() {
+  JANUS_CHECK(s_.decision_level() == 0);
+  lit_stamp_.assign(static_cast<std::size_t>(s_.num_vars()) * 2, 0);
+  if (!settle()) {
+    return;
+  }
+  substitute_equivalents();
+  if (!s_.ok_ || !settle()) {
+    return;
+  }
+  build_occurrence();
+  if (!s_.subsumption_queue_.empty()) {
+    std::vector<solver::clause_ref> queued = std::move(s_.subsumption_queue_);
+    s_.subsumption_queue_.clear();
+    std::sort(queued.begin(), queued.end());
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      if (std::binary_search(queued.begin(), queued.end(), items_[i].cref)) {
+        push_work(i);
+      }
+    }
+    drain_subsumption();
+    if (!s_.ok_) {
+      return;
+    }
+  }
+  // Probing and vivification run speculative propagations whose cancel paths
+  // would overwrite the search's saved phases with probe polarities; snapshot
+  // and restore them so inprocessing leaves phase saving untouched.
+  const std::vector<std::uint8_t> phases = s_.saved_phase_;
+  probe_failed_literals();
+  if (s_.ok_) {
+    vivify_learnts();
+  }
+  s_.saved_phase_ = phases;
+  if (!s_.ok_) {
+    return;
+  }
+  finish();
+}
+
+}  // namespace janus::sat

@@ -1,0 +1,111 @@
+// Inprocessing engine for sat::solver.
+//
+// Two entry points, both invoked by solver::solve() at decision level 0:
+//
+//   * preprocess() — once per solver lifetime, before the first search:
+//     top-level cleanup, equivalent-literal substitution (SCCs of the binary
+//     implication graph), full backward subsumption with self-subsuming
+//     resolution, and bounded variable elimination (BVE). BVE runs ONLY
+//     here: a clause added after the first solve() may mention any unfrozen
+//     variable, so elimination cannot soundly repeat. Incremental sessions
+//     freeze every interface variable (activation literals, encoding
+//     variables future clause groups reference); scratch solves freeze
+//     nothing and get the full reduction.
+//
+//   * inprocess() — at restart boundaries on a conflict-count schedule:
+//     cleanup, equivalent-literal substitution, backward subsumption seeded
+//     from the clauses added since the last round, ticket-scheduled
+//     failed-literal probing on the binary implication graph, and
+//     vivification of high-LBD learned clauses.
+//
+// Frozen variables (solver::freeze) are exempt from elimination and from
+// being substituted away, which keeps assumption literals and
+// final-conflict extraction sound; see docs/solver.md for the protocol.
+//
+// A simplifier is a stack-constructed friend of the solver: persistent
+// state (frozen/eliminated flags, the substitution map, the model
+// reconstruction stack, scheduling counters) lives on the solver, while
+// this class only holds per-round scratch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/occurrence.hpp"
+#include "sat/solver.hpp"
+
+namespace janus::sat {
+
+class simplifier {
+ public:
+  explicit simplifier(solver& s) : s_(s) {}
+
+  simplifier(const simplifier&) = delete;
+  simplifier& operator=(const simplifier&) = delete;
+
+  /// One-time preprocessing pass (see file comment). May set okay() false
+  /// when simplification refutes the formula.
+  void preprocess();
+
+  /// One restart-boundary inprocessing round (see file comment). Never
+  /// eliminates variables. May set okay() false.
+  void inprocess();
+
+ private:
+  /// A clause under consideration this round, paired with its signature.
+  struct item {
+    solver::clause_ref cref;
+    std::uint64_t sig;
+  };
+
+  // round plumbing
+  [[nodiscard]] bool settle();
+  void cleanup_list(std::vector<solver::clause_ref>& list);
+  void clear_level0_reasons();
+  void build_occurrence();
+  std::uint32_t add_item(solver::clause_ref c);
+  void finish();
+
+  // subsumption / self-subsuming resolution
+  void push_work(std::uint32_t idx);
+  void drain_subsumption();
+  void backward_subsume(std::uint32_t idx);
+  void strengthen_item(std::uint32_t idx, lit p);
+
+  // equivalent-literal substitution
+  void substitute_equivalents();
+  void rewrite_list(std::vector<solver::clause_ref>& list);
+
+  // bounded variable elimination
+  void eliminate_variables();
+  void try_eliminate(var v);
+  void gather(lit l, std::vector<std::uint32_t>& out);
+  [[nodiscard]] bool resolve_pair(solver::clause_ref p, solver::clause_ref n,
+                                  var v, std::vector<lit>& out);
+
+  // probing and vivification
+  void probe_failed_literals();
+  void vivify_learnts();
+
+  // stamping helpers (lit-code indexed)
+  void next_stamp() { ++stamp_; }
+  void stamp(lit l) { lit_stamp_[static_cast<std::size_t>(l.code())] = stamp_; }
+  [[nodiscard]] bool stamped(lit l) const {
+    return lit_stamp_[static_cast<std::size_t>(l.code())] == stamp_;
+  }
+
+  solver& s_;
+  occurrence_index occ_;
+  std::vector<item> items_;
+  std::vector<std::uint32_t> work_;  // pending backward-subsumption items
+  std::size_t work_head_ = 0;
+  std::vector<std::uint8_t> in_work_;
+  std::vector<std::uint64_t> lit_stamp_;
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint32_t> pos_;  // per-var scratch for BVE
+  std::vector<std::uint32_t> neg_;
+  std::vector<std::vector<lit>> resolvents_;
+  std::vector<lit> tmp_;
+};
+
+}  // namespace janus::sat

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "sat/simplify.hpp"
+
 namespace janus::sat {
 
 namespace {
@@ -26,10 +28,47 @@ var solver::new_var() {
   seen_.push_back(0);
   lbd_seen_.push_back(0);
   heap_index_.push_back(-1);
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
+  subst_.push_back(lit::make(v));
   watches_.emplace_back();
   watches_.emplace_back();
   heap_insert(v);
   return v;
+}
+
+void solver::freeze(var v) {
+  JANUS_CHECK_MSG(v >= 0 && v < num_vars(), "freeze of unallocated variable");
+  JANUS_CHECK_MSG(!is_eliminated(v),
+                  "variable was already eliminated; freeze it before solve()");
+  frozen_[static_cast<std::size_t>(v)] = 1;
+}
+
+lit solver::resolve_subst(lit l) const {
+  while (true) {
+    const lit s = subst_[static_cast<std::size_t>(l.variable())];
+    if (s == lit::make(l.variable())) {
+      return l;
+    }
+    l = l.negated() ? ~s : s;
+  }
+}
+
+void solver::decay_heuristics(bool rephase) {
+  // Shrink every activity by a huge uniform factor instead of zeroing: the
+  // next solve's bumps (var_inc_ back at 1.0) dominate the residue, so the
+  // solver effectively restarts its branching heuristic, yet ties among
+  // never-bumped variables still break the same way they would in a fresh
+  // solver. Uniform scaling preserves the heap order, so no re-heapify is
+  // needed.
+  for (double& a : activity_) {
+    a *= 1e-30;
+  }
+  var_inc_ = 1.0;
+  if (rephase) {
+    std::fill(saved_phase_.begin(), saved_phase_.end(),
+              options_.default_phase ? std::uint8_t{1} : std::uint8_t{0});
+  }
 }
 
 solver::clause_ref solver::alloc_clause(std::span<const lit> lits, bool learnt) {
@@ -92,18 +131,30 @@ bool solver::add_clause(std::initializer_list<lit> lits) {
 }
 
 bool solver::add_clause(std::span<const lit> lits) {
-  JANUS_CHECK_MSG(decision_level() == 0, "clauses must be added at level 0");
+  // Trail saving keeps the previous call's assumption levels alive between
+  // solve() calls; adding a clause invalidates them, so drop back to level 0.
+  if (decision_level() > 0) {
+    cancel_until(0);
+    prev_assumptions_.clear();
+  }
   if (!ok_) {
     return false;
   }
-  std::vector<lit> copy(lits.begin(), lits.end());
+  std::vector<lit> copy;
+  copy.reserve(lits.size());
+  for (const lit l : lits) {
+    JANUS_CHECK_MSG(!l.is_undef() && l.variable() < num_vars(),
+                    "literal over unallocated solver variable");
+    JANUS_CHECK_MSG(!is_eliminated(l.variable()),
+                    "clause over an eliminated variable; freeze interface "
+                    "variables before solve()");
+    copy.push_back(resolve_subst(l));
+  }
   std::sort(copy.begin(), copy.end());
   std::vector<lit> cleaned;
   cleaned.reserve(copy.size());
   for (std::size_t i = 0; i < copy.size(); ++i) {
     const lit l = copy[i];
-    JANUS_CHECK_MSG(!l.is_undef() && l.variable() < num_vars(),
-                    "literal over unallocated solver variable");
     if (i + 1 < copy.size() && copy[i + 1] == ~l) {
       return true;  // tautological clause
     }
@@ -132,6 +183,9 @@ bool solver::add_clause(std::span<const lit> lits) {
   const clause_ref c = alloc_clause(cleaned, /*learnt=*/false);
   clauses_.push_back(c);
   attach_clause(c);
+  if (options_.inprocess) {
+    subsumption_queue_.push_back(c);  // next round subsumes against/with it
+  }
   return true;
 }
 
@@ -256,6 +310,14 @@ void solver::analyze(clause_ref confl, std::vector<lit>& out_learnt,
     JANUS_CHECK(c != cr_undef);
     if (clause_learnt(c)) {
       clause_bump_activity(c);
+      // Tier protection + LBD refresh: a learnt clause that keeps feeding
+      // conflict analysis is marked used (reduce_learnts spares it) and an
+      // improved LBD can promote it into a safer tier.
+      bump_clause_usage(c);
+      const std::uint32_t fresh = compute_lbd(clause_span(c));
+      if (fresh < clause_lbd(c)) {
+        set_clause_lbd(c, fresh);
+      }
     }
     const lit* cl = clause_lits(c);
     const std::uint32_t size = clause_size(c);
@@ -480,7 +542,7 @@ void solver::heap_sift_down(int i) {
 lit solver::pick_branch_lit() {
   while (!heap_.empty()) {
     const var v = heap_pop();
-    if (is_undef(value(v))) {
+    if (is_undef(value(v)) && !var_discarded(v)) {
       const bool phase = options_.phase_saving
                              ? saved_phase_[static_cast<std::size_t>(v)] != 0
                              : options_.default_phase;
@@ -495,12 +557,22 @@ lit solver::pick_branch_lit() {
 // --------------------------------------------------------------------------
 
 void solver::reduce_learnts() {
+  // Tiered policy: core clauses (LBD <= 2) are kept forever, tier2 clauses
+  // (LBD <= tier2_lbd) survive while their usage counter shows recent
+  // conflict participation (decremented here, so an unused clause demotes
+  // after a few reductions), and the local tier is halved by (LBD, activity).
   std::vector<clause_ref> candidates;
   candidates.reserve(learnts_.size());
   for (const clause_ref c : learnts_) {
-    if (!locked(c) && clause_lbd(c) > 2 && clause_size(c) > 2) {
-      candidates.push_back(c);
+    if (locked(c) || clause_lbd(c) <= 2 || clause_size(c) <= 2) {
+      continue;  // core tier (or currently a reason): never removed
     }
+    if (clause_lbd(c) <= static_cast<std::uint32_t>(options_.tier2_lbd) &&
+        clause_usage(c) > 0) {
+      decay_clause_usage(c);
+      continue;  // tier2: protected while recently used
+    }
+    candidates.push_back(c);
   }
   std::sort(candidates.begin(), candidates.end(),
             [this](clause_ref a, clause_ref b) {
@@ -580,6 +652,16 @@ void solver::garbage_collect() {
   }
   for (auto& c : learnts_) {
     c = relocate(c);
+  }
+  {
+    // Pending subsumption work survives GC; deleted entries drop out.
+    std::size_t j = 0;
+    for (const clause_ref c : subsumption_queue_) {
+      if (!clause_deleted(c)) {
+        subsumption_queue_[j++] = forward.at(c);
+      }
+    }
+    subsumption_queue_.resize(j);
   }
   for (std::size_t v = 0; v < reason_.size(); ++v) {
     clause_ref& r = reason_[v];
@@ -662,12 +744,14 @@ solve_result solver::search(std::int64_t conflicts_before_restart) {
       if (on_learnt) {
         on_learnt(learnt);
       }
+      lbd_ema_fast_ += (static_cast<double>(lbd) - lbd_ema_fast_) / 32.0;
+      lbd_ema_slow_ += (static_cast<double>(lbd) - lbd_ema_slow_) / 8192.0;
       cancel_until(bt_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], cr_undef);
       } else {
         const clause_ref c = alloc_clause(learnt, /*learnt=*/true);
-        clause_lbd(c) = lbd;
+        set_clause_lbd(c, lbd);
         learnts_.push_back(c);
         attach_clause(c);
         clause_bump_activity(c);
@@ -681,10 +765,18 @@ solve_result solver::search(std::int64_t conflicts_before_restart) {
         deadline_hit_ = true;
       }
       if (budget_expired()) {
-        cancel_until(0);
+        cancel_until(assumption_root_level());
         return solve_result::unknown;
       }
-      if (conflicts_here >= conflicts_before_restart) {
+      // Luby restarts fire on the per-segment conflict budget; the EMA policy
+      // restarts as soon as recent learnt quality (fast LBD average) degrades
+      // against the long-run average, after a short warm-up.
+      const bool restart_now =
+          options_.restart == restart_policy::ema
+              ? (conflicts_here >= 32 && stats_.conflicts >= 128 &&
+                 lbd_ema_fast_ > 1.25 * lbd_ema_slow_)
+              : (conflicts_here >= conflicts_before_restart);
+      if (restart_now) {
         cancel_until(0);
         return solve_result::unknown;  // restart
       }
@@ -730,7 +822,7 @@ solve_result solver::search(std::int64_t conflicts_before_restart) {
         deadline_hit_ = true;
       }
       if (stopped_externally() || deadline_hit_) {
-        cancel_until(0);
+        cancel_until(assumption_root_level());
         return solve_result::unknown;
       }
       next = pick_branch_lit();
@@ -744,16 +836,95 @@ solve_result solver::search(std::int64_t conflicts_before_restart) {
   }
 }
 
+void solver::extend_model() {
+  // Replay the reconstruction stack newest-first: a clause saved when `v`
+  // was eliminated only mentions variables that were still live at that
+  // moment, and replaying in reverse chronological order restores those
+  // first, so every lookup below reads a final value.
+  const auto model_lit_true = [this](lit l) {
+    return apply_sign(model_[static_cast<std::size_t>(l.variable())],
+                      l.negated()) == lbool::true_value;
+  };
+  for (auto it = reconstruction_.rbegin(); it != reconstruction_.rend(); ++it) {
+    const auto vi = static_cast<std::size_t>(it->v);
+    if (it->equivalent != lit_undef) {
+      const lit rep = it->equivalent;
+      const lbool rv = apply_sign(
+          model_[static_cast<std::size_t>(rep.variable())], rep.negated());
+      model_[vi] = rv == lbool::undef ? to_lbool(options_.default_phase) : rv;
+      continue;
+    }
+    // BVE event: pick the polarity that satisfies every clause the
+    // elimination removed (at most one polarity is forced when the
+    // resolvents are satisfied, which the model guarantees).
+    lbool forced = lbool::undef;
+    std::size_t pos = 0;
+    for (const std::uint32_t size : it->clause_sizes) {
+      bool satisfied = false;
+      lit mine = lit_undef;
+      for (std::uint32_t k = 0; k < size; ++k) {
+        const lit l = it->clause_lits[pos + k];
+        if (l.variable() == it->v) {
+          mine = l;
+          continue;
+        }
+        if (model_lit_true(l)) {
+          satisfied = true;
+          break;
+        }
+      }
+      pos += size;
+      if (!satisfied && !mine.is_undef()) {
+        forced = to_lbool(!mine.negated());
+      }
+    }
+    model_[vi] = forced == lbool::undef ? to_lbool(options_.default_phase) : forced;
+  }
+}
+
+void solver::translate_conflict_core() {
+  if (assumptions_orig_.empty()) {
+    return;
+  }
+  std::vector<lit> original;
+  original.reserve(conflict_core_.size());
+  for (std::size_t i = 0; i < assumptions_orig_.size(); ++i) {
+    const lit neg = ~assumptions_[i];
+    if (std::find(conflict_core_.begin(), conflict_core_.end(), neg) ==
+        conflict_core_.end()) {
+      continue;
+    }
+    const lit o = ~assumptions_orig_[i];
+    if (std::find(original.begin(), original.end(), o) == original.end()) {
+      original.push_back(o);
+    }
+  }
+  conflict_core_ = std::move(original);
+}
+
 solve_result solver::solve(std::span<const lit> assumptions) {
   model_.clear();
   conflict_core_.clear();
   if (!ok_) {
     return solve_result::unsat;
   }
-  assumptions_.assign(assumptions.begin(), assumptions.end());
-  for (const lit a : assumptions_) {
+  // Map assumptions through the equivalence substitution (originals are kept
+  // so conflict_core() reports in the caller's terms) and freeze their
+  // variables against elimination in this and future inprocessing rounds.
+  assumptions_orig_.assign(assumptions.begin(), assumptions.end());
+  assumptions_.clear();
+  assumptions_.reserve(assumptions_orig_.size());
+  for (const lit a : assumptions_orig_) {
     JANUS_CHECK_MSG(!a.is_undef() && a.variable() < num_vars(),
                     "assumption over unallocated variable");
+    JANUS_CHECK_MSG(!is_eliminated(a.variable()),
+                    "assumption over an eliminated variable; freeze interface "
+                    "variables before solve()");
+    const lit m = resolve_subst(a);
+    if (options_.inprocess) {
+      freeze(m.variable());
+    }
+    assumptions_.push_back(m);
   }
   deadline_hit_ = false;
   conflict_limit_abs_ =
@@ -768,6 +939,44 @@ solve_result solver::solve(std::span<const lit> assumptions) {
   reductions_done_ = 0;
 
   solve_result status = solve_result::unknown;
+
+  // Deferred preprocessing: the one-time full reduction (bounded variable
+  // elimination included) runs at the first restart boundary past
+  // `preprocess_delay` conflicts, not here. A solve that finishes sooner
+  // therefore runs bit-identically to a plain CDCL solve and pays zero
+  // simplification overhead — only formulas that prove hard get simplified.
+  // Eliminating variables mid-search is sound because eliminate_variables()
+  // drops every learnt clause over an eliminated variable (implied by the
+  // original formula, not the reduced one) and assumption variables were
+  // frozen above.
+  if (options_.inprocess && !preprocessed_ && !inprocess_scheduled_) {
+    inprocess_scheduled_ = true;
+    next_inprocess_ = stats_.conflicts +
+                      static_cast<std::uint64_t>(options_.preprocess_delay);
+  }
+  if (!ok_) {
+    status = solve_result::unsat;
+  }
+
+  // Assumption-aware trail saving: the decision levels of the previous
+  // call's assumption prefix that this call shares are kept as-is, so their
+  // propagation work is not repaid. (Each assumption owns exactly one
+  // decision level — dummy levels included — hence level i <=> assumption
+  // i-1 and a prefix match directly bounds the backtrack target.)
+  if (status == solve_result::unknown) {
+    int keep = 0;
+    if (options_.save_trail) {
+      const int max_keep = std::min({static_cast<int>(assumptions_.size()),
+                                     static_cast<int>(prev_assumptions_.size()),
+                                     decision_level()});
+      while (keep < max_keep && assumptions_[keep] == prev_assumptions_[keep]) {
+        ++keep;
+      }
+    }
+    cancel_until(keep);
+    prev_assumptions_ = assumptions_;
+  }
+
   int restart_index = 0;
   while (status == solve_result::unknown) {
     if (deadline_.expired()) {
@@ -775,6 +984,29 @@ solve_result solver::solve(std::span<const lit> assumptions) {
     }
     if (budget_expired()) {
       break;
+    }
+    // Inprocessing rounds run at restart boundaries on a conflict-count
+    // schedule; they need a clean level-0 state.
+    if (options_.inprocess && stats_.conflicts >= next_inprocess_) {
+      cancel_until(0);
+      if (!preprocessed_) {
+        // First round on a formula that proved hard: the full preprocessing
+        // pass. Bounded variable elimination lives ONLY here — clauses added
+        // after this point may reference any unfrozen variable, so
+        // elimination cannot run again (sessions freeze their interface
+        // variables; scratch solves never add clauses after the first
+        // solve()).
+        preprocessed_ = true;
+        simplifier(*this).preprocess();
+      } else {
+        simplifier(*this).inprocess();
+      }
+      next_inprocess_ = stats_.conflicts +
+                        static_cast<std::uint64_t>(options_.inprocess_interval);
+      if (!ok_) {
+        status = solve_result::unsat;
+        break;
+      }
     }
     const double factor = luby(2.0, restart_index);
     status = search(static_cast<std::int64_t>(
@@ -784,7 +1016,18 @@ solve_result solver::solve(std::span<const lit> assumptions) {
       ++stats_.restarts;
     }
   }
-  cancel_until(0);
+
+  if (status == solve_result::sat) {
+    extend_model();
+  } else if (status == solve_result::unsat) {
+    translate_conflict_core();
+  }
+  if (options_.save_trail && ok_) {
+    cancel_until(assumption_root_level());
+  } else {
+    cancel_until(0);
+    prev_assumptions_.clear();
+  }
   return status;
 }
 

@@ -14,10 +14,12 @@
 //     activities, saved phases, and the cumulative `stats()` counters. A
 //     later call on a related instance therefore starts from everything the
 //     earlier calls derived — this is the whole point of session reuse.
-//   * When add_clause()/add_cnf()/new_var() are legal: any time the solver is
-//     at decision level 0, i.e. before the first solve() and between solve()
-//     calls (every solve() backtracks to level 0 before returning, including
-//     on cancellation). Never from inside a solve().
+//   * When add_clause()/add_cnf()/new_var() are legal: any time between
+//     solve() calls and before the first one. The solver keeps the trail of
+//     the previous call's assumption levels alive between calls (see trail
+//     saving below); add_clause() transparently backtracks to level 0 first,
+//     so callers never observe a level restriction. Never call it from
+//     inside a solve().
 //   * Assumption lifetime: the `assumptions` span is copied at the start of
 //     solve() and holds for that call only; the next call starts from a clean
 //     slate. After an unsat answer, conflict_core() names the subset of the
@@ -31,17 +33,30 @@
 //     solver permanently unsat (`okay()` turns false): the formula itself is
 //     contradictory and no later call can succeed. Assumption-relative unsat
 //     answers do NOT poison the solver.
+//   * Inprocessing (off by default, see solver_options::inprocess) adds one
+//     rule: a variable that must stay visible at the interface — future
+//     assumption literals, activation literals of guarded clause groups,
+//     variables referenced by clauses that will be added later — must be
+//     freeze()-d before the next solve() call. Frozen variables are exempt
+//     from elimination and substitution. Assumption variables of the current
+//     call are frozen automatically. See docs/solver.md.
 //
 // Implemented techniques:
 //   * two-literal watching with blocker literals,
 //   * first-UIP conflict analysis with basic (self-subsumption) minimization,
 //   * VSIDS variable activities with phase saving,
-//   * Luby restarts,
-//   * glucose-style learned-clause management (LBD; glue clauses kept),
+//   * Luby restarts, plus a glucose-style LBD-EMA restart policy,
+//   * tiered learned-clause management (core / tier2 / local by LBD, with
+//     usage-protected tier2 clauses),
+//   * assumption-aware trail saving between solve() calls,
 //   * top-level simplification and arena garbage collection,
-//   * solving under assumptions (with final-conflict extraction).
+//   * solving under assumptions (with final-conflict extraction),
+//   * inprocessing (sat/simplify.hpp): preprocessing-time bounded variable
+//     elimination, subsumption / self-subsuming resolution, equivalent-
+//     literal substitution, failed-literal probing and clause vivification.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -56,6 +71,12 @@ namespace janus::sat {
 
 enum class solve_result : std::uint8_t { sat, unsat, unknown };
 
+/// Restart policy for the CDCL search loop.
+enum class restart_policy : std::uint8_t {
+  luby,  ///< Luby sequence scaled by solver_options::restart_base.
+  ema,   ///< glucose-style: restart when the fast LBD EMA exceeds the slow one.
+};
+
 /// Counters exposed for benchmarking and tests.
 struct solver_stats {
   std::uint64_t decisions = 0;
@@ -65,6 +86,13 @@ struct solver_stats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t removed_clauses = 0;
   std::uint64_t minimized_literals = 0;
+  // Inprocessing counters (sat/simplify.cpp).
+  std::uint64_t subsumed = 0;            ///< clauses removed by subsumption
+  std::uint64_t strengthened = 0;        ///< self-subsuming resolution steps
+  std::uint64_t eliminated_vars = 0;     ///< variables removed by BVE
+  std::uint64_t vivified = 0;            ///< learned clauses shrunk by vivification
+  std::uint64_t probed_failed_lits = 0;  ///< failed literals found by probing
+  std::uint64_t substituted_vars = 0;    ///< variables merged by equivalence
 };
 
 /// Accumulate counters across solver instances (per-probe, per-race side,
@@ -77,6 +105,12 @@ inline solver_stats& operator+=(solver_stats& lhs, const solver_stats& rhs) {
   lhs.learned_clauses += rhs.learned_clauses;
   lhs.removed_clauses += rhs.removed_clauses;
   lhs.minimized_literals += rhs.minimized_literals;
+  lhs.subsumed += rhs.subsumed;
+  lhs.strengthened += rhs.strengthened;
+  lhs.eliminated_vars += rhs.eliminated_vars;
+  lhs.vivified += rhs.vivified;
+  lhs.probed_failed_lits += rhs.probed_failed_lits;
+  lhs.substituted_vars += rhs.substituted_vars;
   return lhs;
 }
 
@@ -93,6 +127,12 @@ inline solver_stats operator-(const solver_stats& after,
   d.learned_clauses = after.learned_clauses - before.learned_clauses;
   d.removed_clauses = after.removed_clauses - before.removed_clauses;
   d.minimized_literals = after.minimized_literals - before.minimized_literals;
+  d.subsumed = after.subsumed - before.subsumed;
+  d.strengthened = after.strengthened - before.strengthened;
+  d.eliminated_vars = after.eliminated_vars - before.eliminated_vars;
+  d.vivified = after.vivified - before.vivified;
+  d.probed_failed_lits = after.probed_failed_lits - before.probed_failed_lits;
+  d.substituted_vars = after.substituted_vars - before.substituted_vars;
   return d;
 }
 
@@ -105,7 +145,31 @@ struct solver_options {
   int reduce_increment = 300;      // growth per reduction
   bool phase_saving = true;
   bool default_phase = false;      // value picked for never-assigned vars
+  restart_policy restart = restart_policy::luby;
+  int tier2_lbd = 6;               // LBD boundary between tier2 and local
+
+  // Inprocessing (sat/simplify.hpp). Off by default: a bare solver must keep
+  // every variable addressable by later add_clause()/assumption use without a
+  // freeze protocol. The LM layer turns it on and freezes its interface vars.
+  bool inprocess = false;
+  bool save_trail = true;          // keep assumption levels between solve()s
+  /// Conflicts between inprocessing rounds (0 = every restart boundary).
+  int inprocess_interval = 4000;
+  /// Conflicts before the one-time preprocessing pass (bounded variable
+  /// elimination included), which is DEFERRED to the first restart boundary
+  /// past this count rather than run up-front: a solve that finishes sooner
+  /// is bit-identical to an inprocess=false run and pays zero simplification
+  /// overhead, so only formulas that prove hard get simplified. 0 runs it at
+  /// the very first boundary, before any search.
+  int preprocess_delay = 300;
+  int bve_occurrence_limit = 16;   // per-polarity occurrence cap for BVE
+  int bve_resolvent_limit = 24;    // max literals of a kept BVE resolvent
+  int probes_per_round = 128;      // failed-literal probes per round
+  int vivify_per_round = 96;       // learned clauses vivified per round
+  int vivify_size_limit = 48;      // skip vivifying clauses longer than this
 };
+
+class simplifier;
 
 class solver {
  public:
@@ -120,9 +184,9 @@ class solver {
   [[nodiscard]] int num_vars() const { return static_cast<int>(assigns_.size()); }
 
   /// Add a clause; returns false if the formula became trivially unsat.
-  /// Legal before the first solve() and between solve() calls (the solver is
-  /// then at decision level 0) — the hook incremental sessions use to extend
-  /// the formula with new guarded clause groups mid-ladder.
+  /// Legal before the first solve() and between solve() calls — the hook
+  /// incremental sessions use to extend the formula with new guarded clause
+  /// groups mid-ladder. (The solver backtracks any saved trail itself.)
   bool add_clause(std::span<const lit> lits);
   bool add_clause(std::initializer_list<lit> lits);
 
@@ -130,6 +194,34 @@ class solver {
   /// add_clause(); clauses over already-existing variables compose with
   /// everything learned so far.
   bool add_cnf(const cnf& formula);
+
+  /// Frozen-variable protocol (only meaningful with inprocessing on, no-op
+  /// cost otherwise). A frozen variable is exempt from bounded variable
+  /// elimination and equivalent-literal substitution, so it stays valid in
+  /// later add_clause() calls, as a future assumption, and in
+  /// conflict_core() output. Incremental sessions freeze their activation
+  /// literals and every encoding variable that future clause groups may
+  /// reference; one-shot (scratch) solves freeze nothing.
+  void freeze(var v);
+  void freeze(lit l) { freeze(l.variable()); }
+  [[nodiscard]] bool is_frozen(var v) const {
+    return frozen_[static_cast<std::size_t>(v)] != 0;
+  }
+  /// True if bounded variable elimination removed `v` from the formula.
+  /// Such a variable must not appear in later clauses or assumptions (freeze
+  /// it beforehand if it must stay addressable); model_value() still reports
+  /// a consistent value for it after sat, via model reconstruction.
+  [[nodiscard]] bool is_eliminated(var v) const {
+    return eliminated_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Soften heuristic state between related solve() calls: scales every
+  /// VSIDS activity down so the old ordering survives only as a tie-break
+  /// under the next call's fresh bumps, resets the bump increment, and
+  /// (optionally) resets saved phases to the default polarity. Incremental
+  /// sessions call this between dimension probes so stale heuristic state
+  /// from a distant probe cannot poison the next one.
+  void decay_heuristics(bool rephase = true);
 
   /// Budgets: any expired budget makes solve() return `unknown`.
   void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
@@ -168,7 +260,9 @@ class solver {
   /// negation of one assumption that the refutation used). Valid until the
   /// next solve() call. An empty core means the formula is unsat regardless
   /// of any assumptions. lm_session reads it to tell rule-induced UNSAT from
-  /// genuine unrealizability (core-guided dimension pruning).
+  /// genuine unrealizability (core-guided dimension pruning). Entries are
+  /// reported in terms of the assumption literals as passed by the caller,
+  /// even when equivalent-literal substitution remapped them internally.
   [[nodiscard]] const std::vector<lit>& conflict_core() const { return conflict_core_; }
 
   [[nodiscard]] const solver_stats& stats() const { return stats_; }
@@ -180,18 +274,22 @@ class solver {
   std::function<void(std::span<const lit>)> on_learnt;
 
  private:
+  friend class simplifier;
+
   using clause_ref = std::uint32_t;
   static constexpr clause_ref cr_undef = 0xffffffffu;
 
   // --- clause arena -------------------------------------------------------
-  // Layout per clause: header | [activity if learnt] | literal codes.
-  // header = size << 3 | has_extra << 1 | deleted.
+  // Layout per clause: header | [activity, lbd if learnt] | literal codes.
+  // header = size << 3 | has_extra << 1 | deleted. The lbd word packs a
+  // 2-bit usage counter (tier2 protection) into its top bits.
   struct header_view {
     std::uint32_t raw;
     [[nodiscard]] std::uint32_t size() const { return raw >> 3; }
     [[nodiscard]] bool learnt() const { return (raw >> 1) & 1u; }
     [[nodiscard]] bool deleted() const { return raw & 1u; }
   };
+  static constexpr std::uint32_t lbd_mask = 0x3fffffffu;
 
   clause_ref alloc_clause(std::span<const lit> lits, bool learnt);
   [[nodiscard]] std::uint32_t clause_size(clause_ref c) const {
@@ -208,11 +306,31 @@ class solver {
     return reinterpret_cast<const lit*>(
         &arena_[c + 1 + (clause_learnt(c) ? 2 : 0)]);
   }
+  [[nodiscard]] std::span<const lit> clause_span(clause_ref c) const {
+    return {clause_lits(c), clause_size(c)};
+  }
   [[nodiscard]] float& clause_activity(clause_ref c) {
     return reinterpret_cast<float&>(arena_[c + 1]);
   }
-  [[nodiscard]] std::uint32_t& clause_lbd(clause_ref c) { return arena_[c + 2]; }
-  [[nodiscard]] std::uint32_t clause_lbd(clause_ref c) const { return arena_[c + 2]; }
+  [[nodiscard]] std::uint32_t clause_lbd(clause_ref c) const {
+    return arena_[c + 2] & lbd_mask;
+  }
+  void set_clause_lbd(clause_ref c, std::uint32_t lbd) {
+    arena_[c + 2] = (arena_[c + 2] & ~lbd_mask) | std::min(lbd, lbd_mask);
+  }
+  [[nodiscard]] std::uint32_t clause_usage(clause_ref c) const {
+    return arena_[c + 2] >> 30;
+  }
+  void bump_clause_usage(clause_ref c) {
+    if (clause_usage(c) < 3) {
+      arena_[c + 2] += (1u << 30);
+    }
+  }
+  void decay_clause_usage(clause_ref c) {
+    if (clause_usage(c) > 0) {
+      arena_[c + 2] -= (1u << 30);
+    }
+  }
 
   // --- assignment / trail -------------------------------------------------
   [[nodiscard]] lbool value(var v) const { return assigns_[static_cast<std::size_t>(v)]; }
@@ -253,6 +371,33 @@ class solver {
     return activity_[static_cast<std::size_t>(a)] > activity_[static_cast<std::size_t>(b)];
   }
 
+  // --- inprocessing support ----------------------------------------------
+  /// A variable that left the formula (eliminated or substituted away);
+  /// never picked as a decision.
+  [[nodiscard]] bool var_discarded(var v) const {
+    return eliminated_[static_cast<std::size_t>(v)] != 0 ||
+           subst_[static_cast<std::size_t>(v)] != lit::make(v);
+  }
+  /// Follow the equivalence-substitution chain for `l` to its live
+  /// representative literal (identity when nothing was substituted).
+  [[nodiscard]] lit resolve_subst(lit l) const;
+  /// Replay the reconstruction stack so model_ also assigns eliminated and
+  /// substituted variables consistently with the original formula.
+  void extend_model();
+  /// Rewrite conflict_core_ in terms of the caller's assumption literals
+  /// (they may have been remapped by substitution at solve() entry).
+  void translate_conflict_core();
+
+  /// One entry per eliminated or substituted variable, in chronological
+  /// order. Substitution events carry the representative literal; BVE events
+  /// carry the variable's removed clauses (flattened) for reconstruction.
+  struct reconstruction_event {
+    var v = var_undef;
+    lit equivalent = lit_undef;           // valid for substitution events
+    std::vector<lit> clause_lits;         // BVE: removed clauses, flattened
+    std::vector<std::uint32_t> clause_sizes;
+  };
+
   // --- clause DB management ----------------------------------------------
   void attach_clause(clause_ref c);
   void detach_clause(clause_ref c);
@@ -265,6 +410,11 @@ class solver {
   // --- search -------------------------------------------------------------
   [[nodiscard]] solve_result search(std::int64_t conflicts_before_restart);
   [[nodiscard]] bool budget_expired() const;
+  /// Backtrack target that keeps the assumption levels alive (restarts and
+  /// trail saving never need to go below it).
+  [[nodiscard]] int assumption_root_level() const {
+    return std::min(decision_level(), static_cast<int>(assumptions_.size()));
+  }
   static double luby(double y, int i);
 
   // --- data ----------------------------------------------------------------
@@ -303,9 +453,26 @@ class solver {
   std::vector<std::uint64_t> lbd_seen_;
   std::uint64_t lbd_stamp_ = 0;
 
-  std::vector<lit> assumptions_;
+  std::vector<lit> assumptions_;        // after substitution mapping
+  std::vector<lit> assumptions_orig_;   // as passed by the caller
+  std::vector<lit> prev_assumptions_;   // trail saving: last call's mapped set
   std::vector<lit> conflict_core_;
   std::vector<lbool> model_;
+
+  // Inprocessing state (see sat/simplify.cpp).
+  std::vector<std::uint8_t> frozen_;
+  std::vector<std::uint8_t> eliminated_;
+  std::vector<lit> subst_;              // per-var representative (identity if live)
+  std::vector<reconstruction_event> reconstruction_;
+  std::vector<clause_ref> subsumption_queue_;  // clauses added since last round
+  bool preprocessed_ = false;
+  bool inprocess_scheduled_ = false;  ///< first round booked (see solve())
+  std::uint64_t next_inprocess_ = 0;
+  std::size_t probe_ticket_ = 0;        // rotating failed-literal probe cursor
+
+  // glucose-style restart policy state
+  double lbd_ema_fast_ = 0.0;
+  double lbd_ema_slow_ = 0.0;
 
   const std::atomic<bool>* stop_ = nullptr;  // external cancellation, not owned
   std::int64_t conflict_budget_ = -1;     // -1: unlimited

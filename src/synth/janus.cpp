@@ -263,7 +263,8 @@ janus_result janus_synthesizer::run(const target_spec& target) {
   // The incremental session pool of this run: persistent per-(target, side)
   // solvers for the dichotomic probes plus the shared UNSAT frontier. Scoped
   // to the run — `target` outlives it, and the next run starts fresh.
-  lm::lm_session_pool session_pool(target, options_.lm.encode);
+  lm::lm_session_pool session_pool(target, options_.lm.encode,
+                                   options_.lm.solver);
   struct session_scope {
     lm::lm_session_pool** slot;
     ~session_scope() { *slot = nullptr; }
@@ -452,8 +453,8 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
   lm::lm_options probe_options = options_.lm;
   probe_options.sat_time_limit_s =
       std::min(probe_options.sat_time_limit_s, 20.0);
-  lm::lm_session_pool g_sessions(gt, options_.lm.encode);
-  lm::lm_session_pool h_sessions(ht, options_.lm.encode);
+  lm::lm_session_pool g_sessions(gt, options_.lm.encode, options_.lm.solver);
+  lm::lm_session_pool h_sessions(ht, options_.lm.encode, options_.lm.solver);
   int bc = combined.size();
   int br = combined.grid().rows;
   while (br > 2 && !budget.expired()) {

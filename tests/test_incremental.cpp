@@ -280,5 +280,38 @@ TEST(SessionDeterminism, ScratchAndSessionAgreeAtJobs1AndJobs8) {
   }
 }
 
+/// Inprocessing rewrites the formula underneath the session solvers; the
+/// incremental contract requires that this never shows up in the results.
+/// Compare across the configuration diagonal: scratch with inprocessing OFF
+/// (the most conservative reference) against sessions with inprocessing ON,
+/// at jobs=1 and jobs=8.
+TEST(SessionDeterminism, InprocessingKeepsSizesBitIdentical) {
+  for (const char* name : {"b12_03", "dc1_00", "dc1_03"}) {
+    const target_spec t = instances::make_table2_instance(name);
+
+    synth::janus_options off = determinism_options(false, 1);
+    off.lm.solver.inprocess = false;
+    synth::janus_synthesizer baseline_engine(off);
+    const synth::janus_result baseline = baseline_engine.run(t);
+    ASSERT_TRUE(baseline.solution.has_value()) << name;
+
+    for (const int jobs : {1, 8}) {
+      synth::janus_options on = determinism_options(true, jobs);
+      on.lm.solver.inprocess = true;
+      synth::janus_synthesizer engine(on);
+      const synth::janus_result session = engine.run(t);
+      ASSERT_TRUE(session.solution.has_value()) << name << " jobs=" << jobs;
+      EXPECT_EQ(session.solution_size(), baseline.solution_size())
+          << name << " jobs=" << jobs;
+      EXPECT_EQ(session.lower_bound, baseline.lower_bound)
+          << name << " jobs=" << jobs;
+      EXPECT_EQ(session.new_upper_bound, baseline.new_upper_bound)
+          << name << " jobs=" << jobs;
+      EXPECT_TRUE(session.solution->realizes(t.function()))
+          << name << " jobs=" << jobs;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace janus

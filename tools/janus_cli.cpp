@@ -19,6 +19,12 @@
 //   --incremental / --no-incremental
 //                  incremental SAT sessions across the dichotomic ladder
 //                  (default: on). See docs/architecture.md.
+//   --inprocess / --no-inprocess
+//                  SAT inprocessing (subsumption, variable elimination,
+//                  vivification, probing; default: on). See docs/solver.md.
+//   --restart luby|ema
+//                  solver restart policy (default: ema)
+//   --stats        print the aggregated SAT solver counters after the run
 //   --cache FILE   persist the NP-canonical solution cache: load FILE when it
 //                  exists, save it back after the run — repeated runs answer
 //                  solved classes without resynthesis
@@ -51,6 +57,9 @@ struct cli_config {
   double sat_limit = 10.0;
   int jobs = 1;
   bool incremental = true;
+  bool inprocess = true;
+  std::string restart = "ema";
+  bool show_stats = false;
   bool use_cache = true;       ///< in-memory NP-canonical solution reuse
   std::string cache_path;      ///< optional on-disk persistence (--cache)
   std::string method = "janus";
@@ -63,8 +72,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: janus <synth|batch|map|bounds|table1> [args] "
                "[-p file.pla] [-o N] [-t sec] [-s sec] [-j jobs] [-m method] "
-               "[--incremental|--no-incremental] [--cache file|--no-cache] "
-               "[-q|-v]\n");
+               "[--incremental|--no-incremental] "
+               "[--inprocess|--no-inprocess] [--restart luby|ema] [--stats] "
+               "[--cache file|--no-cache] [-q|-v]\n");
   return 2;
 }
 
@@ -78,13 +88,40 @@ int parse_vars(const std::string& text) {
   return num_vars;
 }
 
+janus::sat::solver_options make_solver_options(const cli_config& cfg) {
+  janus::sat::solver_options o = janus::lm::default_lm_solver_options();
+  o.inprocess = cfg.inprocess;
+  o.restart = cfg.restart == "ema" ? janus::sat::restart_policy::ema
+                                   : janus::sat::restart_policy::luby;
+  return o;
+}
+
 janus::synth::janus_options make_options(const cli_config& cfg) {
   janus::synth::janus_options o;
   o.time_limit_s = cfg.time_limit;
   o.lm.sat_time_limit_s = cfg.sat_limit;
+  o.lm.solver = make_solver_options(cfg);
   o.jobs = cfg.jobs;
   o.incremental = cfg.incremental;
   return o;
+}
+
+void print_solver_stats(const janus::sat::solver_stats& s) {
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::printf(
+      "solver: %llu conflicts, %llu decisions, %llu propagations, "
+      "%llu restarts\n"
+      "        %llu learned, %llu removed, %llu minimized lits\n"
+      "        inprocessing: %llu subsumed, %llu strengthened, "
+      "%llu vars eliminated,\n"
+      "        %llu vivified, %llu failed lits probed, %llu vars "
+      "substituted\n",
+      u(s.conflicts), u(s.decisions), u(s.propagations), u(s.restarts),
+      u(s.learned_clauses), u(s.removed_clauses), u(s.minimized_literals),
+      u(s.subsumed), u(s.strengthened), u(s.eliminated_vars), u(s.vivified),
+      u(s.probed_failed_lits), u(s.substituted_vars));
 }
 
 /// The command's solution store: loads `--cache FILE` on construction when
@@ -206,6 +243,9 @@ int cmd_synth(const cli_config& cfg) {
                 r.solution_size(), r.lower_bound, r.new_upper_bound,
                 r.seconds, r.hit_time_limit ? " [time limit]" : "",
                 r.from_cache ? " [cache]" : "");
+    if (cfg.show_stats) {
+      print_solver_stats(r.sat_totals);
+    }
     std::printf("%s", r.solution->str().c_str());
     return 0;
   }
@@ -268,6 +308,9 @@ int cmd_batch(const cli_config& cfg) {
       cfg.jobs, cfg.incremental ? "incremental" : "scratch",
       static_cast<unsigned long long>(b.cache_hits),
       static_cast<unsigned long long>(b.cache_misses));
+  if (cfg.show_stats) {
+    print_solver_stats(b.solver_totals);
+  }
   return b.solved == static_cast<int>(targets.size()) ? 0 : 1;
 }
 
@@ -288,6 +331,7 @@ int cmd_map(const cli_config& cfg) {
   janus::lm::lattice_info_cache cache;
   janus::lm::lm_options o;
   o.sat_time_limit_s = cfg.sat_limit;
+  o.solver = make_solver_options(cfg);
   std::unique_ptr<janus::exec::thread_pool> pool;
   if (cfg.jobs > 1) {
     pool = std::make_unique<janus::exec::thread_pool>(
@@ -297,6 +341,9 @@ int cmd_map(const cli_config& cfg) {
   const auto r = janus::lm::solve_lm(
       target, cache.get({rows, cols}), o,
       janus::deadline::in_seconds(cfg.time_limit));
+  if (cfg.show_stats) {
+    print_solver_stats(r.solver);
+  }
   switch (r.status) {
     case janus::lm::lm_status::realizable:
       std::printf("realizable on %dx%d%s:\n%s", rows, cols,
@@ -384,6 +431,19 @@ int main(int argc, char** argv) {
       cfg.incremental = true;
     } else if (arg == "--no-incremental") {
       cfg.incremental = false;
+    } else if (arg == "--inprocess") {
+      cfg.inprocess = true;
+    } else if (arg == "--no-inprocess") {
+      cfg.inprocess = false;
+    } else if (arg == "--restart") {
+      const char* v = next();
+      if (v == nullptr || (std::strcmp(v, "luby") != 0 &&
+                           std::strcmp(v, "ema") != 0)) {
+        return usage();
+      }
+      cfg.restart = v;
+    } else if (arg == "--stats") {
+      cfg.show_stats = true;
     } else if (arg == "--cache") {
       const char* v = next();
       if (v == nullptr) return usage();
