@@ -1,0 +1,59 @@
+// Shared argv handling for the standalone bench mains.
+//
+// Every JSON-emitting bench accepts its historical positional paths plus an
+// explicit `--seed N`, and echoes the seed in its JSON header — a committed
+// BENCH_* document therefore names the exact instance-generation salt that
+// produced it (seed 0, the default, is the canonical Table II stand-in set;
+// see `make_table2_instance` in `table2.hpp`). Header-only on purpose: the
+// benches are standalone mains and janus_core must not depend on them.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace janus::bench {
+
+struct bench_args {
+  std::vector<std::string> positional;  ///< paths, in historical order
+  std::uint64_t seed = 0;               ///< --seed N (0 = canonical set)
+
+  /// positional[i], or `fallback` when fewer were given.
+  [[nodiscard]] const char* path(std::size_t i, const char* fallback) const {
+    return i < positional.size() ? positional[i].c_str() : fallback;
+  }
+};
+
+/// Parse argv; exits(2) with a usage line on malformed input so every bench
+/// fails the same way.
+inline bench_args parse_bench_args(int argc, char** argv) {
+  bench_args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --seed needs a value\n", argv[0]);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long value = std::strtoull(argv[++i], &end, 10);
+      if (errno != 0 || end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "%s: bad --seed '%s'\n", argv[0], argv[i]);
+        std::exit(2);
+      }
+      args.seed = static_cast<std::uint64_t>(value);
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s' (only --seed N)\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    } else {
+      args.positional.emplace_back(argv[i]);
+    }
+  }
+  return args;
+}
+
+}  // namespace janus::bench

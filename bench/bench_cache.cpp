@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "cache/solution_cache.hpp"
 #include "instances/table2.hpp"
 #include "synth/batch.hpp"
@@ -32,14 +33,15 @@ using janus::instances::table2_row;
 using janus::instances::table2_rows;
 using janus::lm::target_spec;
 
-std::vector<target_spec> bench_targets(bool full) {
+std::vector<target_spec> bench_targets(bool full, std::uint64_t seed) {
   const int max_inputs = full ? 8 : 6;
   const int max_products = full ? 12 : 8;
   const std::size_t max_instances = full ? 20 : 12;
   std::vector<target_spec> targets;
   for (const table2_row& row : table2_rows()) {
     if (row.inputs <= max_inputs && row.products <= max_products) {
-      targets.push_back(janus::instances::make_table2_instance(row));
+      targets.push_back(
+          janus::instances::make_table2_instance(row, nullptr, seed));
       if (targets.size() >= max_instances) {
         break;
       }
@@ -63,11 +65,13 @@ janus::synth::batch_result run_batch(const std::vector<target_spec>& targets,
 
 int main(int argc, char** argv) {
   const bool full = std::getenv("JANUS_BENCH_FULL") != nullptr;
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_cache.json";
-  const std::string store_path = argc > 2 ? argv[2] : "bench_cache.store";
+  const janus::bench::bench_args args =
+      janus::bench::parse_bench_args(argc, argv);
+  const char* json_path = args.path(0, "BENCH_cache.json");
+  const std::string store_path = args.path(1, "bench_cache.store");
   std::remove(store_path.c_str());
 
-  const std::vector<target_spec> targets = bench_targets(full);
+  const std::vector<target_spec> targets = bench_targets(full, args.seed);
 
   janus::cache::solution_cache first_store;
   const auto first = run_batch(targets, &first_store, full);
@@ -110,7 +114,8 @@ int main(int argc, char** argv) {
     std::snprintf(line, sizeof line, fmt, args...);
     json += line;
   };
-  emit("{\n  \"bench\": \"cache\",\n  \"targets\": %zu,\n", targets.size());
+  emit("{\n  \"bench\": \"cache\",\n  \"seed\": %llu,\n  \"targets\": %zu,\n",
+       static_cast<unsigned long long>(args.seed), targets.size());
   emit("  \"store_loaded\": %s,\n", loaded ? "true" : "false");
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   emit("  \"run1\": {\"seconds\": %.3f, \"conflicts\": %llu, \"probes\": %llu, "

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "instances/table2.hpp"
 #include "synth/janus.hpp"
 #include "util/timer.hpp"
@@ -28,7 +29,7 @@ using janus::instances::table2_row;
 using janus::instances::table2_rows;
 using janus::lm::target_spec;
 
-std::vector<target_spec> bench_targets(bool full) {
+std::vector<target_spec> bench_targets(bool full, std::uint64_t seed) {
   // Instances small enough for seconds-scale ladders but with enough
   // dichotomic steps (lb < nub) that session reuse has something to amortize.
   const int max_inputs = full ? 8 : 6;
@@ -37,7 +38,8 @@ std::vector<target_spec> bench_targets(bool full) {
   std::vector<target_spec> targets;
   for (const table2_row& row : table2_rows()) {
     if (row.inputs <= max_inputs && row.products <= max_products) {
-      targets.push_back(janus::instances::make_table2_instance(row));
+      targets.push_back(
+          janus::instances::make_table2_instance(row, nullptr, seed));
       if (targets.size() >= max_instances) {
         break;
       }
@@ -79,8 +81,10 @@ mode_totals totals_of(const janus::synth::janus_result& r) {
 
 int main(int argc, char** argv) {
   const bool full = std::getenv("JANUS_BENCH_FULL") != nullptr;
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_incremental.json";
-  const std::vector<target_spec> targets = bench_targets(full);
+  const janus::bench::bench_args args =
+      janus::bench::parse_bench_args(argc, argv);
+  const char* json_path = args.path(0, "BENCH_incremental.json");
+  const std::vector<target_spec> targets = bench_targets(full, args.seed);
 
   janus::synth::janus_options base;
   base.time_limit_s = full ? 120.0 : 30.0;
@@ -165,8 +169,9 @@ int main(int argc, char** argv) {
     std::snprintf(line, sizeof line, fmt, args...);
     json += line;
   };
-  emit("{\n  \"bench\": \"incremental\",\n  \"targets\": %zu,\n",
-       targets.size());
+  emit("{\n  \"bench\": \"incremental\",\n  \"seed\": %llu,\n"
+       "  \"targets\": %zu,\n",
+       static_cast<unsigned long long>(args.seed), targets.size());
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   emit("  \"totals\": {\n");
   emit("    \"scratch\": {\"seconds\": %.3f, \"conflicts\": %llu, "

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "instances/table2.hpp"
 #include "synth/batch.hpp"
 #include "util/timer.hpp"
@@ -24,7 +25,7 @@ using janus::instances::table2_row;
 using janus::instances::table2_rows;
 using janus::lm::target_spec;
 
-std::vector<target_spec> bench_targets(bool full) {
+std::vector<target_spec> bench_targets(bool full, std::uint64_t seed) {
   // The smallest Table II instances: enough independent SAT work to shard,
   // small enough that a laptop run stays in seconds.
   const int max_inputs = full ? 8 : 6;
@@ -33,7 +34,8 @@ std::vector<target_spec> bench_targets(bool full) {
   std::vector<target_spec> targets;
   for (const table2_row& row : table2_rows()) {
     if (row.inputs <= max_inputs && row.products <= max_products) {
-      targets.push_back(janus::instances::make_table2_instance(row));
+      targets.push_back(
+          janus::instances::make_table2_instance(row, nullptr, seed));
       if (targets.size() >= max_instances) {
         break;
       }
@@ -44,9 +46,11 @@ std::vector<target_spec> bench_targets(bool full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool full = std::getenv("JANUS_BENCH_FULL") != nullptr;
-  const std::vector<target_spec> targets = bench_targets(full);
+  const janus::bench::bench_args args =
+      janus::bench::parse_bench_args(argc, argv);
+  const std::vector<target_spec> targets = bench_targets(full, args.seed);
 
   janus::synth::batch_options base;
   base.base.time_limit_s = full ? 120.0 : 20.0;
@@ -55,8 +59,9 @@ int main() {
   std::fprintf(stderr, "bench_parallel: %zu targets, hardware threads=%u\n",
                targets.size(), std::thread::hardware_concurrency());
 
-  std::printf("{\n  \"bench\": \"parallel\",\n  \"targets\": %zu,\n",
-              targets.size());
+  std::printf("{\n  \"bench\": \"parallel\",\n  \"seed\": %llu,\n"
+              "  \"targets\": %zu,\n",
+              static_cast<unsigned long long>(args.seed), targets.size());
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   std::printf("  \"runs\": [\n");

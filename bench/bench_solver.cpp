@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "instances/table2.hpp"
 #include "lm/lm_session.hpp"
 #include "lm/lm_solver.hpp"
@@ -100,7 +101,9 @@ config_totals run_config(const janus::lm::target_spec& target,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_solver.json";
+  const janus::bench::bench_args args =
+      janus::bench::parse_bench_args(argc, argv);
+  const char* json_path = args.path(0, "BENCH_solver.json");
   const std::vector<bench_row> rows = bench_rows();
 
   std::vector<std::vector<config_totals>> results;
@@ -109,8 +112,8 @@ int main(int argc, char** argv) {
   double solve[2] = {0.0, 0.0};
   janus::sat::solver_stats sat[2];
   for (const bench_row& row : rows) {
-    const janus::lm::target_spec target =
-        janus::instances::make_table2_instance(row.name);
+    const janus::lm::target_spec target = janus::instances::make_table2_instance(
+        janus::instances::table2_row_by_name(row.name), nullptr, args.seed);
     std::vector<config_totals> per_config;
     for (int cfg = 0; cfg < kConfigs; ++cfg) {
       const bool inprocess = (cfg & 1) != 0;
@@ -171,7 +174,8 @@ int main(int argc, char** argv) {
   const auto u = [](std::uint64_t v) {
     return static_cast<unsigned long long>(v);
   };
-  emit("{\n  \"bench\": \"solver\",\n  \"targets\": %zu,\n", rows.size());
+  emit("{\n  \"bench\": \"solver\",\n  \"seed\": %llu,\n  \"targets\": %zu,\n",
+       static_cast<unsigned long long>(args.seed), rows.size());
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   emit("  \"simplifier_fired\": %s,\n", simplifier_fired ? "true" : "false");
   emit("  \"totals\": {\n");

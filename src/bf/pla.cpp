@@ -72,6 +72,7 @@ pla_file read_pla(std::istream& in) {
   pla_file file;
   bool saw_i = false;
   bool saw_o = false;
+  bool saw_end = false;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
@@ -88,6 +89,9 @@ pla_file read_pla(std::istream& in) {
       const auto tokens = split_ws(t);
       const std::string& key = tokens[0];
       if (key == ".i") {
+        if (saw_i) {
+          pla_fail(line_no, "duplicate .i declaration");
+        }
         if (tokens.size() != 2) {
           pla_fail(line_no, "malformed .i line");
         }
@@ -95,6 +99,9 @@ pla_file read_pla(std::istream& in) {
             parse_header_count(tokens[1], 1, cube::max_vars, line_no, ".i count");
         saw_i = true;
       } else if (key == ".o") {
+        if (saw_o) {
+          pla_fail(line_no, "duplicate .o declaration");
+        }
         if (tokens.size() != 2) {
           pla_fail(line_no, "malformed .o line");
         }
@@ -108,6 +115,7 @@ pla_file read_pla(std::istream& in) {
       } else if (key == ".ob") {
         file.output_names.assign(tokens.begin() + 1, tokens.end());
       } else if (key == ".e" || key == ".end") {
+        saw_end = true;
         break;
       }
       // .p, .type and other directives are informational; ignore.
@@ -126,9 +134,28 @@ pla_file read_pla(std::istream& in) {
     if (tokens[1].size() != static_cast<std::size_t>(file.num_outputs)) {
       pla_fail(line_no, "output part has wrong width");
     }
+    for (const char ch : tokens[0]) {
+      if (ch != '0' && ch != '1' && ch != '-' && ch != '2' && ch != '~') {
+        pla_fail(line_no, std::string("invalid input cube character '") + ch +
+                              "'");
+      }
+    }
+    for (const char ch : tokens[1]) {
+      if (ch != '0' && ch != '1' && ch != '-' && ch != '2' && ch != '~') {
+        pla_fail(line_no, std::string("invalid output character '") + ch +
+                              "'");
+      }
+    }
     file.rows.push_back({cube::from_pla(tokens[0]), tokens[1]});
   }
-  JANUS_CHECK_MSG(saw_i && saw_o, "PLA file missing .i/.o declarations");
+  if (!saw_i || !saw_o) {
+    pla_fail(line_no + 1, "PLA file missing .i/.o declarations");
+  }
+  if (!saw_end) {
+    // A truncated file is indistinguishable from a complete one without the
+    // terminator; fail with the position where .e should have been.
+    pla_fail(line_no + 1, "unexpected end of file: missing .e/.end");
+  }
   return file;
 }
 

@@ -1,10 +1,12 @@
 #include "cache/solution_cache.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "util/str.hpp"
 
@@ -30,6 +32,21 @@ lattice_mapping transform_mapping(const lattice_mapping& m,
     const bool negated = cell.k == cell_assign::kind::negative;
     cell = cell_assign::lit(t.perm[static_cast<std::size_t>(v)],
                             negated ^ (((t.flips >> v) & 1u) != 0));
+  }
+  // Test-only fault injection (JANUS_FUZZ_INJECT=cache-polarity): flip the
+  // polarity of the first literal cell, simulating exactly the transform bug
+  // the BFS-oracle re-verification in lookup() exists to catch. The fuzz
+  // harness's acceptance test (tests/test_fuzz.cpp, janus_fuzz --inject)
+  // asserts the corruption is detected and yields a working replay record.
+  if (const char* inject = std::getenv("JANUS_FUZZ_INJECT");
+      inject != nullptr && std::string_view(inject) == "cache-polarity") {
+    for (cell_assign& cell : out.cells()) {
+      if (!cell.is_constant()) {
+        cell = cell_assign::lit(
+            cell.var, cell.k != cell_assign::kind::negative);
+        break;
+      }
+    }
   }
   return out;
 }

@@ -1,0 +1,196 @@
+#include "fuzz/generators.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace janus::fuzz {
+
+namespace {
+
+char random_cube_char(rng& r) {
+  // '-' heavy: real PLA rows are mostly don't-cares.
+  const std::uint64_t pick = r.next_below(10);
+  if (pick < 4) {
+    return '-';
+  }
+  return pick < 7 ? '1' : '0';
+}
+
+char random_output_char(rng& r) {
+  const std::uint64_t pick = r.next_below(10);
+  if (pick < 5) {
+    return '1';
+  }
+  return pick < 8 ? '0' : '-';
+}
+
+}  // namespace
+
+bf::truth_table random_truth_table(rng& r, int min_vars, int max_vars) {
+  JANUS_CHECK(min_vars >= 1 && min_vars <= max_vars);
+  const int n = min_vars + static_cast<int>(r.next_below(
+                               static_cast<std::uint64_t>(max_vars - min_vars) +
+                               1));
+  double density;
+  const double mode = r.next_double();
+  if (mode < 0.4) {
+    density = 0.02 + 0.18 * r.next_double();  // sparse on-set
+  } else if (mode < 0.8) {
+    density = 0.80 + 0.18 * r.next_double();  // dense on-set
+  } else {
+    density = r.next_double();  // anything
+  }
+  bf::truth_table f(n);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    if (r.next_bool(density)) {
+      f.set(m, true);
+    }
+  }
+  return f;
+}
+
+std::string random_pla_text(rng& r, int max_inputs, int max_outputs) {
+  const int ni = 1 + static_cast<int>(
+                         r.next_below(static_cast<std::uint64_t>(max_inputs)));
+  const int no = 1 + static_cast<int>(
+                         r.next_below(static_cast<std::uint64_t>(max_outputs)));
+  const int rows = 1 + static_cast<int>(r.next_below(12));
+
+  std::string text;
+  if (r.next_bool(0.2)) {
+    text += "# fuzz-generated PLA\n";
+  }
+  text += ".i " + std::to_string(ni) + "\n";
+  text += ".o " + std::to_string(no) + "\n";
+  if (r.next_bool(0.3)) {
+    text += ".ilb";
+    for (int v = 0; v < ni; ++v) {
+      text += " x" + std::to_string(v);
+    }
+    text += "\n";
+  }
+  if (r.next_bool(0.3)) {
+    text += ".ob";
+    for (int o = 0; o < no; ++o) {
+      text += " f" + std::to_string(o);
+    }
+    text += "\n";
+  }
+  if (r.next_bool(0.5)) {
+    text += ".p " + std::to_string(rows) + "\n";
+  }
+  for (int row = 0; row < rows; ++row) {
+    if (r.next_bool(0.1)) {
+      text += "\n";  // stray blank line
+    }
+    std::string in_part;
+    for (int v = 0; v < ni; ++v) {
+      in_part += random_cube_char(r);
+    }
+    std::string out_part;
+    for (int o = 0; o < no; ++o) {
+      out_part += random_output_char(r);
+    }
+    text += in_part;
+    text += r.next_bool(0.2) ? "\t" : " ";
+    text += out_part;
+    if (r.next_bool(0.1)) {
+      text += " # row " + std::to_string(row);
+    }
+    text += "\n";
+  }
+  text += r.next_bool(0.15) ? ".end\n" : ".e\n";
+  return text;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char ch : text) {
+    if (ch == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const auto& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+/// One adversarial edit. Mutations target exactly the corpus the harness
+/// found (or would find) on day one: header junk, duplicate declarations,
+/// truncation, huge counts, wrong widths, invalid characters.
+void mutate(std::vector<std::string>& lines, rng& r) {
+  if (lines.empty()) {
+    lines.push_back(".i");
+    return;
+  }
+  const std::size_t at = r.next_below(lines.size());
+  switch (r.next_below(10)) {
+    case 0:  // duplicate an existing line (headers included)
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), lines[at]);
+      break;
+    case 1:  // junk .i count
+      lines.insert(lines.begin(),
+                   r.next_bool() ? ".i x9" : ".i 99999999999999999999");
+      break;
+    case 2:  // huge .o count
+      lines.insert(lines.begin() + 1, ".o 1048577");
+      break;
+    case 3:  // truncate a line mid-way
+      if (!lines[at].empty()) {
+        lines[at].resize(r.next_below(lines[at].size()));
+      }
+      break;
+    case 4:  // corrupt one character
+      if (!lines[at].empty()) {
+        lines[at][r.next_below(lines[at].size())] =
+            "zX!.%8"[r.next_below(6)];
+      }
+      break;
+    case 5:  // delete a line (terminator and headers included)
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+    case 6:  // widen a row (wrong width)
+      lines[at] += '1';
+      break;
+    case 7:  // negative / signed count
+      lines.insert(lines.begin(), r.next_bool() ? ".i -3" : ".o +2");
+      break;
+    case 8:  // cube before declarations
+      lines.insert(lines.begin(), "1010 1");
+      break;
+    case 9:  // stray directive with arguments
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                   ".phase 01x");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string random_malformed_pla(rng& base, rng& mutation) {
+  std::vector<std::string> lines = split_lines(random_pla_text(base));
+  const int edits = 1 + static_cast<int>(mutation.next_below(3));
+  for (int e = 0; e < edits; ++e) {
+    mutate(lines, mutation);
+  }
+  return join_lines(lines);
+}
+
+}  // namespace janus::fuzz

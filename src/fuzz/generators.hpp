@@ -1,0 +1,48 @@
+// Deterministic input generators for the differential fuzzer.
+//
+// Three generator families, all driven purely by janus::rng streams forked
+// from a single 64-bit master seed (util/rng.hpp):
+//
+//   tt      random completely-specified truth tables, on-set density biased
+//           toward the extremes (near-empty and near-full on-sets are where
+//           bound constructions and the constant shortcuts live);
+//   pla     random structured multi-output PLA text: cubes with don't-cares,
+//           optional name/.p/comment lines — always well-formed;
+//   badpla  adversarial PLA text: a well-formed base mutated with header
+//           junk, duplicate declarations, truncation, huge counts, invalid
+//           characters — may or may not still parse, which is exactly what
+//           the parser-consistency axis wants.
+//
+// Generators never touch global state; the same rng stream always produces
+// the same case, which is what makes one-line repro records possible.
+#pragma once
+
+#include <string>
+
+#include "bf/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace janus::fuzz {
+
+inline constexpr const char* kGenTruthTable = "tt";
+inline constexpr const char* kGenPla = "pla";
+inline constexpr const char* kGenMalformedPla = "badpla";
+
+/// Random function on [min_vars, max_vars] inputs. Density is sampled from a
+/// three-mode mixture (sparse / dense / uniform), so constants and
+/// near-constants appear regularly.
+[[nodiscard]] bf::truth_table random_truth_table(rng& r, int min_vars,
+                                                 int max_vars);
+
+/// Well-formed multi-output PLA text (cubes, don't-cares on both sides,
+/// optional .ilb/.ob/.p lines, comments, irregular spacing).
+[[nodiscard]] std::string random_pla_text(rng& r, int max_inputs = 6,
+                                          int max_outputs = 4);
+
+/// Adversarial PLA text: a random_pla_text base (drawn from `base`) run
+/// through 1–3 mutations drawn from `mutation` — independent streams, so
+/// replaying a mutation sequence never depends on how much entropy the base
+/// generator consumed.
+[[nodiscard]] std::string random_malformed_pla(rng& base, rng& mutation);
+
+}  // namespace janus::fuzz

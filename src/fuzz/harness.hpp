@@ -1,0 +1,101 @@
+// Differential fuzzing harness: generate → run through independent
+// configurations → compare.
+//
+// Every axis is one cell of the configuration matrix that must agree with
+// its reference cell (docs/testing.md):
+//
+//   janus_vs_baselines   JANUS vs exact-[6] vs approx-[6]: every produced
+//                        lattice must pass the BFS oracle; with no budget
+//                        expiry, exact-[6] is a true optimum, so its size
+//                        lower-bounds both others and JANUS's structural lb
+//                        lower-bounds it.
+//   session_vs_scratch   incremental sessions vs fresh solvers: identical
+//                        bounds and solution sizes (the PR 2 contract).
+//   inprocess_on_off     CDCL inprocessing on vs off: identical bounds and
+//                        sizes (simplification is never an approximation).
+//   jobs1_vs_jobsn       jobs=1 vs jobs=N: bit-identical results (the PR 1
+//                        determinism contract).
+//   cache_cold_warm      cold ladder → store → warm lookup (in-memory and
+//                        through the persistent layer): the hit must be
+//                        flagged, size-identical, and re-verified against
+//                        lattice_mapping::realizes by the harness itself.
+//   parser_consistency   PLA text (valid and adversarial) parsed twice must
+//                        agree accept/reject and content; accepted files
+//                        must survive a write→reparse round trip with
+//                        identical per-output on-sets; the only exception
+//                        the parser may throw is janus::check_error.
+//
+// Cases are fully determined by (master seed, case index): each case draws
+// from rng::fork streams only, so run_case replays any case in isolation —
+// the property the repro records (repro.hpp) rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/repro.hpp"
+
+namespace janus::fuzz {
+
+enum class axis_id : std::uint8_t {
+  janus_vs_baselines,
+  session_vs_scratch,
+  inprocess_on_off,
+  jobs1_vs_jobsn,
+  cache_cold_warm,
+  parser_consistency,
+};
+
+[[nodiscard]] const char* axis_name(axis_id axis);
+[[nodiscard]] std::optional<axis_id> axis_from_name(std::string_view name);
+[[nodiscard]] const std::vector<axis_id>& all_axes();
+
+enum class case_status : std::uint8_t {
+  passed,   ///< configurations agreed
+  skipped,  ///< a budget expired mid-case; agreement is not defined
+  failed,   ///< discrepancy or unexpected exception
+};
+
+struct case_report {
+  repro_record record;
+  case_status status = case_status::passed;
+  std::string message;  ///< what disagreed (failed) / why skipped
+};
+
+/// Execute one case deterministically. Independent of every other case: the
+/// same (seed, case_index, axis, jobs) always reproduces the same inputs and
+/// verdict. `jobs` is the N of the jobs1_vs_jobsn axis (ignored elsewhere).
+[[nodiscard]] case_report run_case(std::uint64_t seed,
+                                   std::uint64_t case_index, axis_id axis,
+                                   int jobs = 4);
+
+struct fuzz_options {
+  std::uint64_t seed = 1;
+  std::uint64_t max_cases = 0;    ///< 0 = unbounded (budget-driven)
+  double budget_seconds = 0.0;    ///< 0 = unbounded (case-driven)
+  std::vector<axis_id> axes = all_axes();  ///< rotated round-robin
+  std::string failures_path = "fuzz-failures.txt";  ///< "" = don't write
+  int jobs = 4;
+  bool verbose = false;
+};
+
+struct fuzz_report {
+  std::uint64_t executed = 0;
+  std::uint64_t passed = 0;
+  std::uint64_t skipped = 0;
+  std::vector<case_report> failures;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+/// The fuzz loop: cases 0, 1, 2, … rotate over `options.axes` until either
+/// bound (cases / budget) is hit. Discrepancies are appended to
+/// `failures_path` as one-line repro records the moment they happen, so a
+/// killed run still leaves its findings behind.
+[[nodiscard]] fuzz_report run_fuzz(const fuzz_options& options);
+
+}  // namespace janus::fuzz

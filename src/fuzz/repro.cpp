@@ -1,0 +1,100 @@
+#include "fuzz/repro.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "util/str.hpp"
+
+namespace janus::fuzz {
+
+namespace {
+
+/// Strict u64 parse (digits only, no sign/overflow); parse_count is capped at
+/// int range, and seeds are genuinely 64-bit.
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty() || token.size() > 20) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Split on ':' keeping empty fields (split_ws would merge them).
+std::vector<std::string_view> split_colon(std::string_view text) {
+  std::vector<std::string_view> fields;
+  while (true) {
+    const auto pos = text.find(':');
+    if (pos == std::string_view::npos) {
+      fields.push_back(text);
+      return fields;
+    }
+    fields.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                    ch == '_' || ch == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string repro_record::str() const {
+  return "v1:" + std::to_string(seed) + ":" + generator + ":" + axis + ":" +
+         std::to_string(case_index);
+}
+
+std::optional<repro_record> repro_record::parse(std::string_view text) {
+  std::string_view t = trim(text);
+  if (starts_with(t, "repro")) {
+    t = trim(t.substr(5));
+  }
+  if (const auto comment = t.find('#'); comment != std::string_view::npos) {
+    t = trim(t.substr(0, comment));
+  }
+  const auto fields = split_colon(t);
+  if (fields.size() != 5 || fields[0] != "v1") {
+    return std::nullopt;
+  }
+  const auto seed = parse_u64(fields[1]);
+  const auto case_index = parse_u64(fields[4]);
+  if (!seed || !case_index || !valid_name(fields[2]) || !valid_name(fields[3])) {
+    return std::nullopt;
+  }
+  repro_record record;
+  record.seed = *seed;
+  record.generator = std::string(fields[2]);
+  record.axis = std::string(fields[3]);
+  record.case_index = *case_index;
+  return record;
+}
+
+std::string failure_line(const repro_record& record,
+                         const std::string& message) {
+  std::string line = "repro " + record.str();
+  if (!message.empty()) {
+    line += "  # ";
+    // Keep the record one line no matter what the exception text contains.
+    for (const char ch : message) {
+      line += (ch == '\n' || ch == '\r') ? ' ' : ch;
+    }
+  }
+  return line;
+}
+
+}  // namespace janus::fuzz

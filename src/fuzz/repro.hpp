@@ -1,0 +1,45 @@
+// Crash-repro records for the differential fuzzer.
+//
+// Every discrepancy or unexpected exception the fuzzer hits is serialized to
+// one line appended to fuzz-failures.txt:
+//
+//   repro v1:<seed>:<generator>:<axis>:<case>  # <message>
+//
+// The colon-separated token is the whole reproduction state: the master
+// 64-bit seed, the generator that built the case's input, the differential
+// axis (the config-matrix cell that disagreed) and the case index. Because
+// every case draws from rng::fork(seed, case) — never from a shared stream —
+// `janus_fuzz --replay <token>` re-executes exactly that case without
+// re-running the ones before it, so a CI fuzz failure is a one-command local
+// repro (docs/testing.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace janus::fuzz {
+
+struct repro_record {
+  std::uint64_t seed = 0;
+  std::string generator;  ///< "tt", "pla", "badpla" — see generators.hpp
+  std::string axis;       ///< differential-axis name — see harness.hpp
+  std::uint64_t case_index = 0;
+
+  /// The replay token: "v1:<seed>:<generator>:<axis>:<case>".
+  [[nodiscard]] std::string str() const;
+
+  /// Parse a replay token. Tolerates a whole fuzz-failures.txt line (leading
+  /// "repro " and a trailing "# message" are stripped), so a failure line can
+  /// be pasted into --replay verbatim. nullopt on anything malformed.
+  static std::optional<repro_record> parse(std::string_view text);
+
+  friend bool operator==(const repro_record&, const repro_record&) = default;
+};
+
+/// The failure-file line for a discrepancy: "repro <token>  # <message>".
+[[nodiscard]] std::string failure_line(const repro_record& record,
+                                       const std::string& message);
+
+}  // namespace janus::fuzz

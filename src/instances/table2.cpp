@@ -110,7 +110,8 @@ target_spec make_c17_01() {
 
 }  // namespace
 
-target_spec make_table2_instance(const table2_row& row, instance_stats* stats) {
+target_spec make_table2_instance(const table2_row& row, instance_stats* stats,
+                                 std::uint64_t salt) {
   if (row.name == "c17_01") {
     target_spec t = make_c17_01();
     if (stats != nullptr) {
@@ -128,8 +129,10 @@ target_spec make_table2_instance(const table2_row& row, instance_stats* stats) {
   constexpr int max_attempts = 120;
   constexpr int max_rounds = 24;
   for (int attempt = 0; attempt < max_attempts && best_distance > 0; ++attempt) {
-    rng r(name_seed(row.name) + 0x9e3779b97f4a7c15ULL *
-                                    static_cast<std::uint64_t>(attempt));
+    // salt 0 (the default) reproduces the canonical instances bit-for-bit;
+    // the benches thread their --seed through here to re-roll the set.
+    rng r(name_seed(row.name) + salt * 0xd1342543de82ef95ULL +
+          0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt));
     // Adaptive build: keep adding random cubes until the *minimized* cover
     // reaches the wanted product count (random cubes often merge, so one
     // shot rarely lands on dense instances).

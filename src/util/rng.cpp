@@ -20,11 +20,20 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-rng::rng(std::uint64_t seed) {
+rng::rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) {
     word = splitmix64(s);
   }
+}
+
+rng rng::fork(std::uint64_t stream_id) const {
+  // Derive from the construction seed only, so forks are order-insensitive:
+  // two splitmix64 rounds over (seed, stream_id) decorrelate adjacent stream
+  // ids (seed+1 vs stream 1 and so on) before reseeding.
+  std::uint64_t s = seed_;
+  std::uint64_t mixed = splitmix64(s) ^ (stream_id + 0x9e3779b97f4a7c15ULL);
+  return rng(splitmix64(mixed));
 }
 
 std::uint64_t rng::next_u64() {

@@ -16,6 +16,18 @@ class rng {
  public:
   explicit rng(std::uint64_t seed);
 
+  /// An independent deterministic stream derived from this generator's
+  /// *seed* (not its current state): fork(k) yields the same sequence no
+  /// matter how many values were drawn from the parent or from other forks.
+  /// The fuzz harness leans on this — case k replays from (seed, k) alone,
+  /// and generator / config-shuffle / mutation streams inside a case cannot
+  /// perturb each other. Forks of forks are fine: the derived seed mixes the
+  /// full parent seed with the stream id through splitmix64.
+  [[nodiscard]] rng fork(std::uint64_t stream_id) const;
+
+  /// The seed this generator (or fork) was constructed from.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
   /// Uniform 64-bit value.
   std::uint64_t next_u64();
 
@@ -32,6 +44,7 @@ class rng {
   bool next_bool(double p = 0.5);
 
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t state_[4];
 };
 

@@ -1,0 +1,143 @@
+// The fuzzing harness tested as a library: repro-record grammar, case
+// determinism, a small clean differential sweep, and the acceptance loop the
+// whole subsystem exists for — a deliberately injected bug
+// (JANUS_FUZZ_INJECT=cache-polarity, src/cache/solution_cache.cpp) must be
+// caught and must yield a replay record that reproduces it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "bf/truth_table.hpp"
+#include "fuzz/generators.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/repro.hpp"
+#include "util/rng.hpp"
+
+namespace janus::fuzz {
+namespace {
+
+TEST(ReproRecord, RoundTripsThroughStr) {
+  repro_record record;
+  record.seed = 18446744073709551615ull;  // max u64 survives
+  record.generator = "tt";
+  record.axis = "cache_cold_warm";
+  record.case_index = 42;
+  const auto parsed = repro_record::parse(record.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, record);
+}
+
+TEST(ReproRecord, ParsesAWholeFailureLine) {
+  repro_record record;
+  record.seed = 7;
+  record.generator = "badpla";
+  record.axis = "parser_consistency";
+  record.case_index = 3;
+  const std::string line =
+      failure_line(record, "accept/reject flipped\nbetween parses");
+  // The message is flattened to one line, and the whole line pastes back
+  // into --replay verbatim.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto parsed = repro_record::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, record);
+  // Surrounding whitespace is tolerated too.
+  EXPECT_EQ(repro_record::parse("  " + record.str() + "  "), record);
+}
+
+TEST(ReproRecord, RejectsMalformedTokens) {
+  EXPECT_FALSE(repro_record::parse("").has_value());
+  EXPECT_FALSE(repro_record::parse("v2:1:tt:cache_cold_warm:0").has_value());
+  EXPECT_FALSE(repro_record::parse("v1:1:tt:cache_cold_warm").has_value());
+  EXPECT_FALSE(repro_record::parse("v1:x:tt:cache_cold_warm:0").has_value());
+  EXPECT_FALSE(repro_record::parse("v1:1:tt:cache_cold_warm:-1").has_value());
+  EXPECT_FALSE(repro_record::parse("v1:1::cache_cold_warm:0").has_value());
+  EXPECT_FALSE(
+      repro_record::parse("v1:1:tt:cache_cold_warm:0:extra").has_value());
+  EXPECT_FALSE(repro_record::parse("v1:1:T T:cache_cold_warm:0").has_value());
+}
+
+TEST(Generators, DeterministicFromForkedStreams) {
+  // The property every repro record relies on: the same (seed, stream)
+  // rebuilds the same input, regardless of what other streams consumed.
+  rng a = rng(99).fork(0);
+  rng b = rng(99).fork(0);
+  EXPECT_EQ(random_truth_table(a, 1, 6), random_truth_table(b, 1, 6));
+  EXPECT_EQ(random_pla_text(a), random_pla_text(b));
+  rng ma = rng(99).fork(2);
+  rng mb = rng(99).fork(2);
+  EXPECT_EQ(random_malformed_pla(a, ma), random_malformed_pla(b, mb));
+}
+
+TEST(AxisNames, RoundTripAndRejectUnknown) {
+  for (const axis_id axis : all_axes()) {
+    const auto back = axis_from_name(axis_name(axis));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, axis);
+  }
+  EXPECT_FALSE(axis_from_name("no_such_axis").has_value());
+}
+
+TEST(RunCase, SameInputsSameVerdict) {
+  for (const axis_id axis : {axis_id::parser_consistency,
+                             axis_id::session_vs_scratch,
+                             axis_id::cache_cold_warm}) {
+    const case_report a = run_case(11, 5, axis);
+    const case_report b = run_case(11, 5, axis);
+    EXPECT_EQ(a.record, b.record);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.message, b.message);
+  }
+}
+
+TEST(RunFuzz, SmallSweepIsClean) {
+  fuzz_options options;
+  options.seed = 1;
+  options.max_cases = 30;  // five cases per axis
+  options.failures_path = "";
+  const fuzz_report report = run_fuzz(options);
+  EXPECT_EQ(report.executed, 30u);
+  EXPECT_TRUE(report.clean()) << report.failures.front().message;
+}
+
+TEST(RunFuzz, InjectedCacheBugIsCaughtAndReplays) {
+  // The acceptance loop: corrupt the cache transform, fuzz until the
+  // cache_cold_warm axis notices, then prove the recorded token reproduces
+  // the failure on its own — and that the case is healthy without the bug.
+  ASSERT_EQ(setenv("JANUS_FUZZ_INJECT", "cache-polarity", 1), 0);
+  std::optional<repro_record> caught;
+  for (std::uint64_t index = 0; index < 20 && !caught; ++index) {
+    const case_report report =
+        run_case(7, index, axis_id::cache_cold_warm);
+    if (report.status == case_status::failed) {
+      caught = report.record;
+    }
+  }
+  ASSERT_TRUE(caught.has_value())
+      << "injected polarity bug escaped 20 cache_cold_warm cases";
+
+  // The failure line round-trips to the exact record...
+  const auto parsed =
+      repro_record::parse(failure_line(*caught, "injected"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, *caught);
+
+  // ...which still reproduces under injection, exactly as --replay runs it.
+  const auto axis = axis_from_name(parsed->axis);
+  ASSERT_TRUE(axis.has_value());
+  const case_report replay =
+      run_case(parsed->seed, parsed->case_index, *axis);
+  EXPECT_EQ(replay.status, case_status::failed);
+  EXPECT_EQ(replay.record, *caught);
+
+  // Remove the bug: the very same case passes.
+  ASSERT_EQ(unsetenv("JANUS_FUZZ_INJECT"), 0);
+  const case_report healthy =
+      run_case(parsed->seed, parsed->case_index, *axis);
+  EXPECT_EQ(healthy.status, case_status::passed) << healthy.message;
+}
+
+}  // namespace
+}  // namespace janus::fuzz

@@ -119,5 +119,62 @@ TEST(Pla, IgnoresCommentsAndType) {
   EXPECT_EQ(f.rows.size(), 1u);
 }
 
+TEST(Pla, RejectsDuplicateHeaderDeclarations) {
+  // Fuzzer-found class: a second .i/.o silently re-widened every row parsed
+  // so far, so rows validated against the first width became wrong-width
+  // covers. Both duplicates are now hard errors with the duplicate's line.
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      (void)read_pla_string(text);
+    } catch (const check_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string dup_i = message_of(".i 2\n.o 1\n11 1\n.i 3\n.e\n");
+  EXPECT_NE(dup_i.find("PLA line 4"), std::string::npos);
+  EXPECT_NE(dup_i.find("duplicate .i"), std::string::npos);
+  const std::string dup_o = message_of(".i 2\n.o 1\n.o 2\n11 1\n.e\n");
+  EXPECT_NE(dup_o.find("PLA line 3"), std::string::npos);
+  EXPECT_NE(dup_o.find("duplicate .o"), std::string::npos);
+}
+
+TEST(Pla, RejectsMissingEndMarker) {
+  // Truncated files (another day-one fuzzer find) used to parse as if
+  // complete; the terminator is now mandatory and the error points one past
+  // the last line.
+  const std::string text = ".i 2\n.o 1\n11 1";
+  try {
+    (void)read_pla_string(text);
+    FAIL() << "missing .e accepted";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("PLA line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("missing .e"), std::string::npos);
+  }
+  // .end is an accepted spelling; both still parse.
+  EXPECT_NO_THROW((void)read_pla_string(".i 2\n.o 1\n11 1\n.e\n"));
+  EXPECT_NO_THROW((void)read_pla_string(".i 2\n.o 1\n11 1\n.end\n"));
+}
+
+TEST(Pla, RejectsInvalidCubeCharactersWithLineNumbers) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      (void)read_pla_string(text);
+    } catch (const check_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Input-part junk used to escape as a bare JANUS_CHECK failure from
+  // cube::from_pla with no line context; output-part junk was silently
+  // treated as "off".
+  EXPECT_NE(message_of(".i 2\n.o 1\n1x 1\n.e\n").find("PLA line 3"),
+            std::string::npos);
+  EXPECT_NE(message_of(".i 2\n.o 1\n11 z\n.e\n").find("PLA line 3"),
+            std::string::npos);
+  // The espresso don't-care spellings stay accepted in both parts.
+  EXPECT_NO_THROW((void)read_pla_string(".i 3\n.o 2\n1~2 -~\n.e\n"));
+}
+
 }  // namespace
 }  // namespace janus::bf
