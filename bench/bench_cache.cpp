@@ -25,6 +25,7 @@
 #include "cache/solution_cache.hpp"
 #include "instances/table2.hpp"
 #include "synth/batch.hpp"
+#include "util/json_writer.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -118,19 +119,11 @@ int main(int argc, char** argv) {
        static_cast<unsigned long long>(args.seed), targets.size());
   emit("  \"store_loaded\": %s,\n", loaded ? "true" : "false");
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
-  emit("  \"run1\": {\"seconds\": %.3f, \"conflicts\": %llu, \"probes\": %llu, "
-       "\"cache_hits\": %llu, \"cache_misses\": %llu},\n",
-       first.seconds, static_cast<unsigned long long>(first.solver_totals.conflicts),
-       static_cast<unsigned long long>(first.total_probes),
-       static_cast<unsigned long long>(first.cache_hits),
-       static_cast<unsigned long long>(first.cache_misses));
-  emit("  \"run2\": {\"seconds\": %.3f, \"conflicts\": %llu, \"probes\": %llu, "
-       "\"cache_hits\": %llu, \"cache_misses\": %llu},\n",
-       second.seconds,
-       static_cast<unsigned long long>(second.solver_totals.conflicts),
-       static_cast<unsigned long long>(second.total_probes),
-       static_cast<unsigned long long>(second.cache_hits),
-       static_cast<unsigned long long>(second.cache_misses));
+  // The batch aggregates (cache counters, probe counts, summed solver stats)
+  // use the shared serializer, so this document and the janusd /stats
+  // endpoint agree on the key set.
+  json += "  \"run1\": " + janus::util::to_json(first) + ",\n";
+  json += "  \"run2\": " + janus::util::to_json(second) + ",\n";
   emit("  \"second_run_hit_rate\": %.3f,\n", hit_rate);
   emit("  \"instances\": [\n");
   for (std::size_t i = 0; i < targets.size(); ++i) {

@@ -1,0 +1,729 @@
+// Load driver for the janusd service engine: a seeded mixed-request workload
+// (tables, multi-output PLAs, malformed lines, expired deadlines) driven by
+// closed-loop clients, followed by an open-loop burst that must trip
+// admission control.
+//
+// Two transports, one workload:
+//
+//   default    an in-process synthesis_service (no sockets — measures the
+//              engine: queueing, fairness, shared caches);
+//   --socket P connect to a running janusd on the Unix socket at P and drive
+//              the identical workload over the wire (CI's smoke job). The
+//              daemon's --queue must be smaller than the burst (CI uses
+//              --queue 8) or the admission-control check cannot trip.
+//
+// The stream's second half replays the same function pool as the first, so
+// the shared solution cache must answer most of it: the bench fails (exit 1)
+// when the warm-phase hit rate drops below 30%, when any completed response's
+// solution size differs from a direct synthesize_batch run over the same
+// functions, or when the burst fails to draw a single `overloaded` rejection.
+//
+// Output: one JSON document on stdout, mirrored to argv[1] (default
+// BENCH_service.json) — client-side exact p50/p90/p99 latency, throughput,
+// and the server's own /stats document spliced in. JANUS_BENCH_SMOKE=1
+// shrinks the workload for CI.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench_args.hpp"
+#include "bf/pla.hpp"
+#include "bf/truth_table.hpp"
+#include "fuzz/generators.hpp"
+#include "service/json_value.hpp"
+#include "service/service.hpp"
+#include "synth/batch.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using janus::service::json_parse;
+using janus::service::json_value;
+
+[[noreturn]] void fatal(const std::string& why) {
+  std::fprintf(stderr, "bench_service: FATAL: %s\n", why.c_str());
+  std::exit(1);
+}
+
+// ---- workload ---------------------------------------------------------------
+
+enum class item_kind { table, pla, malformed, dead };
+
+struct request_item {
+  std::string id;
+  std::string line;
+  item_kind kind = item_kind::table;
+  bool warm = false;             ///< second half of the stream
+  std::vector<int> expected;     ///< per-output reference sizes (synth kinds)
+};
+
+struct workload {
+  std::vector<request_item> stream;
+  std::vector<request_item> burst;
+  std::size_t tables = 0, plas = 0, malformed = 0, dead = 0;
+};
+
+std::string table_line(const std::string& id, const std::string& bits, int n,
+                       int deadline_ms) {
+  std::string line = "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+                     "\",\"n\":" + std::to_string(n) + ",\"table\":\"" + bits +
+                     "\"";
+  if (deadline_ms >= 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  line += "}";
+  return line;
+}
+
+/// One pool entry: either a single table function or a multi-output PLA; the
+/// reference targets are built exactly the way protocol.cpp builds them.
+struct pool_entry {
+  std::string bits;  ///< table form ("" for PLA entries)
+  std::string pla;   ///< PLA text ("" for table entries)
+  std::vector<janus::lm::target_spec> targets;
+};
+
+/// Layout: `num_tables` table entries, then `num_plas` PLA entries (the
+/// stream pool), then `burst_cold` 4-var table entries only the burst uses.
+std::vector<pool_entry> build_pool(janus::rng& r, std::size_t num_tables,
+                                   std::size_t num_plas,
+                                   std::size_t burst_cold) {
+  std::vector<pool_entry> pool;
+  std::map<std::string, bool> seen;
+  const auto add_table = [&](int min_vars) {
+    while (true) {
+      const int n =
+          min_vars + static_cast<int>(r.next_below(
+                         static_cast<std::uint64_t>(5 - min_vars)));  // ..4
+      std::string bits;
+      bool any0 = false;
+      bool any1 = false;
+      for (int m = 0; m < (1 << n); ++m) {
+        const bool b = r.next_bool();
+        bits += b ? '1' : '0';
+        (b ? any1 : any0) = true;
+      }
+      if (!any0 || !any1 || seen.count(bits) != 0) {
+        continue;  // constants bypass the cache; duplicates skew the pool
+      }
+      seen[bits] = true;
+      pool_entry entry;
+      entry.bits = bits;
+      entry.targets.push_back(janus::lm::target_spec::from_function(
+          janus::bf::truth_table::from_binary_string(bits), "f"));
+      pool.push_back(std::move(entry));
+      return;
+    }
+  };
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    add_table(/*min_vars=*/2);
+  }
+  for (std::size_t p = 0; p < num_plas; ++p) {
+    pool_entry entry;
+    entry.pla = janus::fuzz::random_pla_text(r, /*max_inputs=*/4,
+                                             /*max_outputs=*/3);
+    const janus::bf::pla_file file = janus::bf::read_pla_string(entry.pla);
+    for (int o = 0; o < file.num_outputs; ++o) {
+      const std::string name =
+          file.output_names.empty() ? "out" + std::to_string(o)
+                                    : file.output_names[static_cast<std::size_t>(o)];
+      entry.targets.push_back(
+          janus::lm::target_spec::from_function(file.onset(o), name));
+    }
+    pool.push_back(std::move(entry));
+  }
+  for (std::size_t b = 0; b < burst_cold; ++b) {
+    add_table(/*min_vars=*/4);  // real work: the burst must outpace it
+  }
+  return pool;
+}
+
+std::string synth_line_for(const pool_entry& entry, const std::string& id,
+                           int deadline_ms) {
+  if (!entry.bits.empty()) {
+    int n = 0;
+    while ((std::size_t{1} << n) < entry.bits.size()) {
+      ++n;
+    }
+    return table_line(id, entry.bits, n, deadline_ms);
+  }
+  std::string line = "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+                     "\",\"pla\":\"" + janus::util::json_escape(entry.pla) +
+                     "\"";
+  if (deadline_ms >= 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  line += "}";
+  return line;
+}
+
+/// `pool` = the stream's function pool followed by `burst_cold` functions no
+/// stream request ever touches; the burst leads with those (real synthesis,
+/// not cache hits) so the workers fall behind the open-loop submission and
+/// the bounded queue genuinely overflows.
+workload build_workload(std::uint64_t seed, std::size_t stream_n,
+                        std::size_t burst_n, const std::vector<pool_entry>& pool,
+                        const std::vector<std::vector<int>>& sizes,
+                        std::size_t num_tables, std::size_t burst_cold) {
+  janus::rng r(seed ^ 0x5eed5e47u);
+  workload w;
+  const std::size_t stream_pool = pool.size() - burst_cold;
+  const char* kMalformed[3] = {
+      "{\"v\":1,\"op\":\"synth\",\"id\":\"m\"",              // truncated
+      "{\"v\":1,\"op\":\"synth\",\"n\":3,\"table\":\"01\"}",  // length mismatch
+      "this is not a request",                                // not JSON
+  };
+  for (std::size_t k = 0; k < stream_n; ++k) {
+    request_item item;
+    item.id = "r" + std::to_string(k);
+    item.warm = k >= stream_n / 2;
+    const double mode = r.next_double();
+    if (mode < 0.82) {
+      // Table entries sit at the pool's head.
+      const std::size_t t = r.next_below(num_tables);
+      item.kind = item_kind::table;
+      item.line = synth_line_for(pool[t], item.id, -1);
+      item.expected = sizes[t];
+    } else if (mode < 0.90) {
+      const std::size_t pick = r.next_below(stream_pool);
+      item.kind = pool[pick].bits.empty() ? item_kind::pla : item_kind::table;
+      item.line = synth_line_for(pool[pick], item.id, -1);
+      item.expected = sizes[pick];
+    } else if (mode < 0.95) {
+      item.kind = item_kind::malformed;
+      item.line = kMalformed[r.next_below(3)];
+    } else {
+      item.kind = item_kind::dead;
+      item.line = synth_line_for(pool[r.next_below(stream_pool)], item.id,
+                                 /*deadline_ms=*/0);
+    }
+    switch (item.kind) {
+      case item_kind::table: ++w.tables; break;
+      case item_kind::pla: ++w.plas; break;
+      case item_kind::malformed: ++w.malformed; break;
+      case item_kind::dead: ++w.dead; break;
+    }
+    w.stream.push_back(std::move(item));
+  }
+  for (std::size_t k = 0; k < burst_n; ++k) {
+    request_item item;
+    item.id = "b" + std::to_string(k);
+    // Cold functions first (they occupy the workers), then warm repeats.
+    const std::size_t pick =
+        k < burst_cold ? stream_pool + k : r.next_below(stream_pool);
+    item.kind = pool[pick].bits.empty() ? item_kind::pla : item_kind::table;
+    item.line = synth_line_for(pool[pick], item.id, -1);
+    item.expected = sizes[pick];
+    w.burst.push_back(std::move(item));
+  }
+  return w;
+}
+
+// ---- transports -------------------------------------------------------------
+
+class transport {
+ public:
+  virtual ~transport() = default;
+  /// Submit one line, block for its response (closed loop).
+  virtual std::string roundtrip(const std::string& line) = 0;
+  /// Submit every line without waiting, then collect exactly one response
+  /// per line (open loop — the admission-control burst).
+  virtual std::vector<std::string> burst(
+      const std::vector<std::string>& lines) = 0;
+};
+
+class inproc_transport : public transport {
+ public:
+  inproc_transport(janus::service::synthesis_service* svc,
+                   std::uint64_t client)
+      : svc_(svc), client_(client) {}
+
+  std::string roundtrip(const std::string& line) override {
+    std::mutex m;
+    std::condition_variable cv;
+    std::string response;
+    bool done = false;
+    svc_->submit_line(client_, line, [&](std::string r) {
+      std::lock_guard<std::mutex> lock(m);
+      response = std::move(r);
+      done = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, std::chrono::seconds(120), [&] { return done; })) {
+      fatal("no response within 120s for: " + line);
+    }
+    return response;
+  }
+
+  std::vector<std::string> burst(
+      const std::vector<std::string>& lines) override {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<std::string> responses;
+    for (const std::string& line : lines) {
+      svc_->submit_line(client_, line, [&](std::string r) {
+        std::lock_guard<std::mutex> lock(m);
+        responses.push_back(std::move(r));
+        cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, std::chrono::seconds(120),
+                     [&] { return responses.size() >= lines.size(); })) {
+      fatal("burst responses incomplete");
+    }
+    return responses;
+  }
+
+ private:
+  janus::service::synthesis_service* svc_;
+  std::uint64_t client_;
+};
+
+class socket_transport : public transport {
+ public:
+  explicit socket_transport(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      fatal("socket() failed");
+    }
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      fatal("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      fatal("cannot connect to " + path);
+    }
+    timeval timeout = {120, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  ~socket_transport() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  std::string roundtrip(const std::string& line) override {
+    send_line(line);
+    return read_line();
+  }
+
+  std::vector<std::string> burst(
+      const std::vector<std::string>& lines) override {
+    for (const std::string& line : lines) {
+      send_line(line);
+    }
+    std::vector<std::string> responses;
+    responses.reserve(lines.size());
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+      responses.push_back(read_line());
+    }
+    return responses;
+  }
+
+ private:
+  void send_line(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        fatal("send failed (daemon gone?)");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        fatal("recv failed or timed out (daemon gone?)");
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---- response accounting ----------------------------------------------------
+
+struct tally {
+  std::size_t ok = 0, timeout = 0, bad_request = 0, overloaded = 0, other = 0;
+  std::size_t warm_outputs = 0, warm_output_hits = 0;
+  bool sizes_identical = true;
+  std::vector<double> latencies_ms;
+};
+
+std::string field_string(const json_value& doc, const char* key) {
+  const json_value* member = doc.find(key);
+  return member != nullptr && member->is_string() ? member->string : "";
+}
+
+/// Classify one response against its request; everything surprising is a
+/// hard failure — this bench doubles as the service's end-to-end check.
+void account(const request_item& item, const std::string& response,
+             bool in_burst, tally& t) {
+  const auto parsed = json_parse(response);
+  if (!parsed.value.has_value() || !parsed.value->is_object()) {
+    fatal("unparseable response: " + response);
+  }
+  const json_value& doc = *parsed.value;
+  const std::string status = field_string(doc, "status");
+  if (status == "ok") {
+    ++t.ok;
+    if (item.kind == item_kind::malformed || item.kind == item_kind::dead) {
+      fatal("unexpected ok for " + item.id + ": " + response);
+    }
+    const json_value* outputs = doc.find("outputs");
+    if (outputs == nullptr || !outputs->is_array() ||
+        outputs->items.size() != item.expected.size()) {
+      fatal("output count mismatch for " + item.id + ": " + response);
+    }
+    for (std::size_t o = 0; o < outputs->items.size(); ++o) {
+      const json_value* switches = outputs->items[o].find("switches");
+      if (switches == nullptr ||
+          static_cast<int>(switches->number) != item.expected[o]) {
+        std::fprintf(stderr,
+                     "bench_service: size mismatch for %s output %zu: %s\n",
+                     item.id.c_str(), o, response.c_str());
+        t.sizes_identical = false;
+      }
+      if (item.warm && !in_burst) {
+        ++t.warm_outputs;
+        const json_value* hit = outputs->items[o].find("from_cache");
+        if (hit != nullptr && hit->is_bool() && hit->boolean) {
+          ++t.warm_output_hits;
+        }
+      }
+    }
+  } else if (status == "timeout") {
+    ++t.timeout;
+    if (item.kind != item_kind::dead && !in_burst) {
+      // A loaded server may legitimately time a normal request out, but in
+      // this bench deadlines are 30s against millisecond jobs: treat it as
+      // the failure it almost certainly is.
+      fatal("unexpected timeout for " + item.id + ": " + response);
+    }
+  } else if (status == "error") {
+    const std::string code = field_string(doc, "error");
+    if (code == "bad_request") {
+      ++t.bad_request;
+      if (item.kind != item_kind::malformed) {
+        fatal("valid request rejected: " + item.id + ": " + response);
+      }
+    } else if (code == "overloaded") {
+      ++t.overloaded;
+      if (!in_burst) {
+        fatal("closed-loop request rejected overloaded: " + response);
+      }
+    } else {
+      ++t.other;
+      fatal("unexpected error response: " + response);
+    }
+  } else {
+    fatal("unknown status: " + response);
+  }
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --socket P is bench-local; strip it before the shared argv parser.
+  std::string socket_path;
+  std::vector<char*> args_v;
+  args_v.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --socket needs a path\n", argv[0]);
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else {
+      args_v.push_back(argv[i]);
+    }
+  }
+  const janus::bench::bench_args args = janus::bench::parse_bench_args(
+      static_cast<int>(args_v.size()), args_v.data());
+  const char* json_path = args.path(0, "BENCH_service.json");
+
+  const bool smoke = std::getenv("JANUS_BENCH_SMOKE") != nullptr;
+  const std::size_t num_tables = smoke ? 12 : 48;
+  const std::size_t num_plas = smoke ? 2 : 6;
+  const std::size_t burst_cold = smoke ? 4 : 8;
+  const std::size_t stream_n = smoke ? 160 : 2200;
+  const std::size_t burst_n = smoke ? 60 : 200;
+  const int clients = 4;
+
+  janus::rng pool_rng(args.seed + 1);
+  const std::vector<pool_entry> pool =
+      build_pool(pool_rng, num_tables, num_plas, burst_cold);
+
+  // The reference: every pool function through synthesize_batch, jobs=1,
+  // one shared store — the bit-identical contract the service must match.
+  std::vector<janus::lm::target_spec> reference_targets;
+  for (const pool_entry& entry : pool) {
+    for (const auto& target : entry.targets) {
+      reference_targets.push_back(target);
+    }
+  }
+  janus::cache::solution_cache reference_store;
+  janus::synth::batch_options batch;
+  batch.base.time_limit_s = 30.0;
+  batch.base.lm.sat_time_limit_s = 10.0;
+  batch.base.solutions = &reference_store;
+  batch.jobs = 1;
+  const janus::synth::batch_result reference =
+      janus::synth::synthesize_batch(reference_targets, batch);
+  std::vector<std::vector<int>> sizes(pool.size());
+  {
+    std::size_t flat = 0;
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      for (std::size_t o = 0; o < pool[p].targets.size(); ++o) {
+        sizes[p].push_back(reference.results[flat++].solution_size());
+      }
+    }
+  }
+
+  const workload w = build_workload(args.seed, stream_n, burst_n, pool, sizes,
+                                    num_tables, burst_cold);
+
+  // The service under test (in-process unless --socket points elsewhere).
+  std::unique_ptr<janus::service::synthesis_service> svc;
+  if (socket_path.empty()) {
+    janus::service::service_options options;
+    options.workers = 2;
+    options.queue_capacity = 32;
+    options.default_deadline_s = 30.0;
+    options.base.time_limit_s = 30.0;
+    options.base.lm.sat_time_limit_s = 10.0;
+    svc = std::make_unique<janus::service::synthesis_service>(options);
+  }
+  const auto make_transport = [&](std::uint64_t client)
+      -> std::unique_ptr<transport> {
+    if (svc != nullptr) {
+      return std::make_unique<inproc_transport>(svc.get(), client);
+    }
+    return std::make_unique<socket_transport>(socket_path);
+  };
+
+  // Closed-loop stream: `clients` threads pulling the next request index.
+  std::atomic<std::size_t> next{0};
+  std::mutex tally_mutex;
+  tally totals;
+  janus::stopwatch stream_clock;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::unique_ptr<transport> t =
+          make_transport(static_cast<std::uint64_t>(c) + 1);
+      tally local;
+      while (true) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= w.stream.size()) {
+          break;
+        }
+        janus::stopwatch rt;
+        const std::string response = t->roundtrip(w.stream[k].line);
+        local.latencies_ms.push_back(rt.seconds() * 1000.0);
+        account(w.stream[k], response, /*in_burst=*/false, local);
+      }
+      std::lock_guard<std::mutex> lock(tally_mutex);
+      totals.ok += local.ok;
+      totals.timeout += local.timeout;
+      totals.bad_request += local.bad_request;
+      totals.overloaded += local.overloaded;
+      totals.other += local.other;
+      totals.warm_outputs += local.warm_outputs;
+      totals.warm_output_hits += local.warm_output_hits;
+      totals.sizes_identical = totals.sizes_identical && local.sizes_identical;
+      totals.latencies_ms.insert(totals.latencies_ms.end(),
+                                 local.latencies_ms.begin(),
+                                 local.latencies_ms.end());
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double stream_seconds = stream_clock.seconds();
+
+  // Open-loop burst on one connection: submission is orders of magnitude
+  // faster than service, so the bounded queue must reject part of it.
+  std::size_t burst_overloaded = 0;
+  {
+    const std::unique_ptr<transport> t = make_transport(99);
+    std::vector<std::string> lines;
+    for (const request_item& item : w.burst) {
+      lines.push_back(item.line);
+    }
+    const std::vector<std::string> responses = t->burst(lines);
+    // Burst responses interleave arbitrarily; match them back by id.
+    std::map<std::string, const request_item*> by_id;
+    for (const request_item& item : w.burst) {
+      by_id[item.id] = &item;
+    }
+    for (const std::string& response : responses) {
+      const auto parsed = json_parse(response);
+      if (!parsed.value.has_value()) {
+        fatal("unparseable burst response: " + response);
+      }
+      const std::string id = field_string(*parsed.value, "id");
+      const auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        fatal("burst response with unknown id: " + response);
+      }
+      tally burst_tally;
+      burst_tally.sizes_identical = totals.sizes_identical;
+      account(*it->second, response, /*in_burst=*/true, burst_tally);
+      totals.sizes_identical = burst_tally.sizes_identical;
+      burst_overloaded += burst_tally.overloaded;
+    }
+  }
+
+  // The server's own view, through the same wire format both modes use.
+  std::string server_stats_raw = "{}";
+  {
+    const std::unique_ptr<transport> t = make_transport(100);
+    const std::string response =
+        t->roundtrip("{\"v\":1,\"op\":\"stats\",\"id\":\"bench\"}");
+    // The stats object is the response's final member; splice it verbatim
+    // (both ends share the same compact json_writer conventions).
+    const std::size_t pos = response.find("\"stats\": ");
+    if (pos == std::string::npos || response.empty() ||
+        response.back() != '}') {
+      fatal("malformed stats response: " + response);
+    }
+    server_stats_raw =
+        response.substr(pos + 9, response.size() - 1 - (pos + 9));
+  }
+
+  if (svc != nullptr) {
+    svc->drain(30.0);  // exercises the graceful path the daemon uses
+  }
+
+  std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());
+  const double warm_hit_rate =
+      totals.warm_outputs == 0
+          ? 0.0
+          : static_cast<double>(totals.warm_output_hits) /
+                static_cast<double>(totals.warm_outputs);
+  const double throughput =
+      stream_seconds > 0.0
+          ? static_cast<double>(w.stream.size()) / stream_seconds
+          : 0.0;
+
+  std::fprintf(stderr,
+               "stream %zu (%zu ok, %zu timeout, %zu bad) in %.2fs "
+               "(%.0f req/s); warm hit rate %.2f; burst %zu/%zu overloaded\n",
+               w.stream.size(), totals.ok, totals.timeout, totals.bad_request,
+               stream_seconds, throughput, warm_hit_rate, burst_overloaded,
+               w.burst.size());
+
+  janus::util::json_writer doc(2);
+  doc.begin_object()
+      .field("bench", "service")
+      .field("seed", args.seed)
+      .field("mode", socket_path.empty() ? "inprocess" : "socket")
+      .field("clients", clients);
+  doc.key("requests")
+      .begin_object()
+      .field("stream", w.stream.size())
+      .field("burst", w.burst.size())
+      .field("table", w.tables)
+      .field("pla", w.plas)
+      .field("malformed", w.malformed)
+      .field("deadline_expired", w.dead)
+      .end_object();
+  doc.key("responses")
+      .begin_object()
+      .field("ok", totals.ok)
+      .field("timeout", totals.timeout)
+      .field("bad_request", totals.bad_request)
+      .field("burst_overloaded", burst_overloaded)
+      .end_object();
+  doc.field("sizes_identical", totals.sizes_identical)
+      .field("warm_outputs", totals.warm_outputs)
+      .field("warm_output_hits", totals.warm_output_hits)
+      .field("warm_hit_rate", warm_hit_rate)
+      .field("stream_seconds", stream_seconds)
+      .field("throughput_rps", throughput);
+  doc.key("latency_ms")
+      .begin_object()
+      .field("p50", percentile(totals.latencies_ms, 0.50))
+      .field("p90", percentile(totals.latencies_ms, 0.90))
+      .field("p99", percentile(totals.latencies_ms, 0.99))
+      .field("max", totals.latencies_ms.empty() ? 0.0
+                                                : totals.latencies_ms.back())
+      .end_object();
+  doc.key("server").raw(server_stats_raw);
+  doc.end_object();
+
+  std::string json = doc.str();
+  json += "\n";
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+
+  if (!totals.sizes_identical) {
+    std::fprintf(stderr, "FAIL: sizes differ from synthesize_batch\n");
+    return 1;
+  }
+  if (warm_hit_rate < 0.3) {
+    std::fprintf(stderr, "FAIL: warm hit rate %.2f below 0.30\n",
+                 warm_hit_rate);
+    return 1;
+  }
+  if (burst_overloaded == 0) {
+    std::fprintf(stderr, "FAIL: burst never tripped admission control\n");
+    return 1;
+  }
+  return 0;
+}

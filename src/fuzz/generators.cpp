@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/json_writer.hpp"
 
 namespace janus::fuzz {
 
@@ -191,6 +192,121 @@ std::string random_malformed_pla(rng& base, rng& mutation) {
     mutate(lines, mutation);
   }
   return join_lines(lines);
+}
+
+namespace {
+
+std::string random_table_request(rng& r, const std::string& id) {
+  const int n = 1 + static_cast<int>(r.next_below(3));
+  std::string bits;
+  for (int m = 0; m < (1 << n); ++m) {
+    bits += r.next_bool() ? '1' : '0';
+  }
+  std::string line = "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+                     "\",\"n\":" + std::to_string(n) + ",\"table\":\"" + bits +
+                     "\"";
+  if (r.next_bool(0.3)) {
+    // Deadline variants: expired-on-arrival (timeout path) or a short one.
+    const std::uint64_t ms = r.next_bool(0.25) ? 0 : 100 + r.next_below(2000);
+    line += ",\"deadline_ms\":" + std::to_string(ms);
+  }
+  line += "}";
+  return line;
+}
+
+/// One line the protocol must accept (given the axis's limits: vars ≤ 4,
+/// outputs ≤ 4, deadlines ≤ 10s).
+std::string random_valid_request(rng& r, const std::string& id) {
+  switch (r.next_below(10)) {
+    case 0:
+      return "{\"v\":1,\"op\":\"ping\",\"id\":\"" + id + "\"}";
+    case 1:
+      return "{\"v\":1,\"op\":\"stats\",\"id\":\"" + id + "\"}";
+    case 2: {
+      const std::string pla = random_pla_text(r, /*max_inputs=*/3,
+                                              /*max_outputs=*/2);
+      return "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id + "\",\"pla\":\"" +
+             util::json_escape(pla) + "\"}";
+    }
+    default:
+      return random_table_request(r, id);
+  }
+}
+
+/// One adversarial line. Built from scratch or by damaging a valid base;
+/// either way it never contains '\n' (one request per line is the framing
+/// contract, which the socket layer owns — this generator attacks the layer
+/// below it).
+std::string random_bad_request(rng& valid, rng& r, const std::string& id) {
+  switch (r.next_below(12)) {
+    case 0: {  // truncate a valid line mid-way
+      std::string line = random_valid_request(valid, id);
+      line.resize(r.next_below(line.size()));
+      return line;
+    }
+    case 1: {  // corrupt one byte of a valid line
+      std::string line = random_valid_request(valid, id);
+      line[r.next_below(line.size())] = "{}[]\"\\x\x01\x7f,"[r.next_below(10)];
+      return line;
+    }
+    case 2: {  // nesting beyond the parser's depth cap
+      std::string line = "{\"v\":1,\"op\":\"ping\",\"id\":";
+      line.append(48, '[');
+      line.append(48, ']');
+      line += '}';
+      return line;
+    }
+    case 3:  // wrong field types
+      return "{\"v\":1,\"op\":5,\"id\":true,\"n\":\"two\"}";
+    case 4:  // huge count
+      return "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+             "\",\"n\":1e300,\"table\":\"01\"}";
+    case 5:  // n / table length mismatch
+      return "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+             "\",\"n\":3,\"table\":\"01\"}";
+    case 6: {  // raw junk bytes (newline-free)
+      std::string line;
+      const std::size_t len = 1 + r.next_below(64);
+      for (std::size_t k = 0; k < len; ++k) {
+        const char c = static_cast<char>(1 + r.next_below(255));
+        line += c == '\n' ? ' ' : c;
+      }
+      return line;
+    }
+    case 7:  // well-formed JSON that is not an object
+      return "[1,2,3]";
+    case 8:  // duplicate keys (legal JSON; last one wins)
+      return "{\"v\":1,\"v\":1,\"op\":\"ping\",\"op\":\"stats\",\"id\":\"" +
+             id + "\"}";
+    case 9: {  // past the line-length cap
+      std::string line =
+          "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id + "\",\"pla\":\"";
+      line.append(4096, 'x');
+      line += "\"}";
+      return line;
+    }
+    case 10:  // deadline over the cap
+      return "{\"v\":1,\"op\":\"synth\",\"id\":\"" + id +
+             "\",\"deadline_ms\":99999999,\"n\":1,\"table\":\"01\"}";
+    default:  // id over the id-length cap
+      return "{\"v\":1,\"op\":\"ping\",\"id\":\"" + std::string(256, 'q') +
+             "\"}";
+  }
+}
+
+}  // namespace
+
+request_script random_request_lines(rng& valid, rng& mutation) {
+  request_script script;
+  const int count = 1 + static_cast<int>(valid.next_below(8));
+  for (int k = 0; k < count; ++k) {
+    const std::string id = "q" + std::to_string(k);
+    const bool good = valid.next_bool(0.5);
+    script.known_valid.push_back(good);
+    script.lines.push_back(good ? random_valid_request(valid, id)
+                                : random_bad_request(valid, mutation, id));
+  }
+  return script;
 }
 
 }  // namespace janus::fuzz

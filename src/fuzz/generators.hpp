@@ -1,6 +1,6 @@
 // Deterministic input generators for the differential fuzzer.
 //
-// Three generator families, all driven purely by janus::rng streams forked
+// Four generator families, all driven purely by janus::rng streams forked
 // from a single 64-bit master seed (util/rng.hpp):
 //
 //   tt      random completely-specified truth tables, on-set density biased
@@ -11,13 +11,17 @@
 //   badpla  adversarial PLA text: a well-formed base mutated with header
 //           junk, duplicate declarations, truncation, huge counts, invalid
 //           characters — may or may not still parse, which is exactly what
-//           the parser-consistency axis wants.
+//           the parser-consistency axis wants;
+//   badreq  janusd protocol scripts: well-formed v1 request lines mixed with
+//           adversarial ones (truncation, junk bytes, huge numbers, deep
+//           nesting, wrong types, over-long lines) for the protocol axis.
 //
 // Generators never touch global state; the same rng stream always produces
 // the same case, which is what makes one-line repro records possible.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bf/truth_table.hpp"
 #include "util/rng.hpp"
@@ -27,6 +31,7 @@ namespace janus::fuzz {
 inline constexpr const char* kGenTruthTable = "tt";
 inline constexpr const char* kGenPla = "pla";
 inline constexpr const char* kGenMalformedPla = "badpla";
+inline constexpr const char* kGenBadRequest = "badreq";
 
 /// Random function on [min_vars, max_vars] inputs. Density is sampled from a
 /// three-mode mixture (sparse / dense / uniform), so constants and
@@ -44,5 +49,20 @@ inline constexpr const char* kGenMalformedPla = "badpla";
 /// replaying a mutation sequence never depends on how much entropy the base
 /// generator consumed.
 [[nodiscard]] std::string random_malformed_pla(rng& base, rng& mutation);
+
+/// A short janusd request script: 1–8 newline-free protocol lines. Line k
+/// carries id "q<k>", so responses can be matched back to the line that
+/// caused them. `known_valid[k]` marks lines emitted by the well-formed
+/// generator untouched — those must never draw a `bad_request`. Mutated
+/// lines may or may not still parse (duplicate keys, say, are legal JSON),
+/// which is exactly what the protocol axis wants.
+struct request_script {
+  std::vector<std::string> lines;
+  std::vector<bool> known_valid;  ///< parallel to `lines`
+};
+
+/// Valid structure and content draw from `valid`; every adversarial choice
+/// draws from `mutation` — independent streams, as with random_malformed_pla.
+[[nodiscard]] request_script random_request_lines(rng& valid, rng& mutation);
 
 }  // namespace janus::fuzz

@@ -3,11 +3,15 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "bf/pla.hpp"
 #include "cache/solution_cache.hpp"
 #include "fuzz/generators.hpp"
+#include "service/json_value.hpp"
+#include "service/service.hpp"
 #include "synth/baselines.hpp"
 #include "synth/janus.hpp"
 #include "util/log.hpp"
@@ -326,6 +330,103 @@ axis_outcome axis_parser_consistency(rng& gen, rng& mutation) {
   return {};
 }
 
+/// Drive a generated request script — valid lines interleaved with
+/// adversarial ones — through an in-process service engine with tight limits
+/// and tiny budgets. Everything submit_line can be made to do wrong is a
+/// failure here: a missing or extra response, a response that is not a v1
+/// JSON object with a typed status, an `internal` error escaping, or a
+/// known-valid line bounced as bad_request. drain() returning at all is part
+/// of the contract (the grace deadline cancels anything still running).
+axis_outcome axis_protocol(rng& gen, rng& mutation) {
+  const request_script script = random_request_lines(gen, mutation);
+
+  service::service_options options;
+  options.workers = 2;
+  options.queue_capacity = 4;  // small on purpose: overloaded is a real path
+  options.default_deadline_s = 10.0;
+  options.drain_grace_s = 5.0;
+  options.limits.max_line_bytes = 2048;
+  options.limits.max_vars = 4;
+  options.limits.max_outputs = 4;
+  options.limits.max_deadline_s = 10.0;
+  options.base.time_limit_s = 10.0;
+  options.base.lm.sat_time_limit_s = 5.0;
+
+  std::mutex mutex;
+  std::vector<std::string> responses;
+  {
+    service::synthesis_service svc(options);
+    for (const std::string& line : script.lines) {
+      svc.submit_line(1, line, [&](std::string response) {
+        std::lock_guard<std::mutex> lock(mutex);
+        responses.push_back(std::move(response));
+      });
+    }
+    svc.drain(options.drain_grace_s);  // joins the workers: no more responses
+  }
+
+  if (responses.size() != script.lines.size()) {
+    return axis_outcome::fail("submitted " +
+                              std::to_string(script.lines.size()) +
+                              " lines, got " +
+                              std::to_string(responses.size()) + " responses");
+  }
+
+  std::set<std::string> valid_ids;
+  for (std::size_t k = 0; k < script.lines.size(); ++k) {
+    if (script.known_valid[k]) {
+      valid_ids.insert("q" + std::to_string(k));
+    }
+  }
+
+  for (const std::string& response : responses) {
+    const service::json_parse_result parsed = service::json_parse(response);
+    if (!parsed.value.has_value()) {
+      return axis_outcome::fail("response is not JSON (" + parsed.error +
+                                "): " + response);
+    }
+    const service::json_value& doc = *parsed.value;
+    if (!doc.is_object()) {
+      return axis_outcome::fail("response is not an object: " + response);
+    }
+    const service::json_value* version = doc.find("v");
+    if (version == nullptr || !version->is_number() || version->number != 1) {
+      return axis_outcome::fail("response missing v:1: " + response);
+    }
+    const service::json_value* status = doc.find("status");
+    if (status == nullptr || !status->is_string()) {
+      return axis_outcome::fail("response missing status: " + response);
+    }
+    if (status->string != "ok" && status->string != "timeout" &&
+        status->string != "error") {
+      return axis_outcome::fail("unknown status '" + status->string +
+                                "': " + response);
+    }
+    if (status->string != "error") {
+      continue;
+    }
+    const service::json_value* code = doc.find("error");
+    if (code == nullptr || !code->is_string()) {
+      return axis_outcome::fail("error response missing code: " + response);
+    }
+    if (code->string == "internal") {
+      return axis_outcome::fail("internal error escaped: " + response);
+    }
+    if (code->string != "bad_request" && code->string != "overloaded" &&
+        code->string != "shutting_down") {
+      return axis_outcome::fail("unknown error code '" + code->string +
+                                "': " + response);
+    }
+    const service::json_value* id = doc.find("id");
+    if (code->string == "bad_request" && id != nullptr && id->is_string() &&
+        valid_ids.count(id->string) != 0) {
+      return axis_outcome::fail("valid line rejected as bad_request: " +
+                                response);
+    }
+  }
+  return {};
+}
+
 struct axis_info {
   axis_id id;
   const char* name;
@@ -338,6 +439,7 @@ constexpr axis_info kAxes[] = {
     {axis_id::jobs1_vs_jobsn, "jobs1_vs_jobsn"},
     {axis_id::cache_cold_warm, "cache_cold_warm"},
     {axis_id::parser_consistency, "parser_consistency"},
+    {axis_id::protocol, "protocol"},
 };
 
 }  // namespace
@@ -415,6 +517,10 @@ case_report run_case(std::uint64_t seed, std::uint64_t case_index,
         outcome = axis_parser_consistency(gen, mutation);
         break;
       }
+      case axis_id::protocol:
+        report.record.generator = kGenBadRequest;
+        outcome = axis_protocol(gen, mutation);
+        break;
     }
   } catch (const std::exception& e) {
     outcome = axis_outcome::fail(std::string("unexpected exception: ") +

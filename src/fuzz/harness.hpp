@@ -24,6 +24,13 @@
 //                        must survive a write→reparse round trip with
 //                        identical per-output on-sets; the only exception
 //                        the parser may throw is janus::check_error.
+//   protocol             adversarial request scripts driven through an
+//                        in-process janusd service engine: every submitted
+//                        line draws exactly one response, every response
+//                        parses as a v1 JSON object with a typed status,
+//                        untouched-valid lines are never rejected as
+//                        bad_request, `internal` errors are failures, and
+//                        drain() must return.
 //
 // Cases are fully determined by (master seed, case index): each case draws
 // from rng::fork streams only, so run_case replays any case in isolation —
@@ -47,6 +54,7 @@ enum class axis_id : std::uint8_t {
   jobs1_vs_jobsn,
   cache_cold_warm,
   parser_consistency,
+  protocol,
 };
 
 [[nodiscard]] const char* axis_name(axis_id axis);

@@ -1,0 +1,68 @@
+// Minimal JSON parsing for the janusd wire protocol.
+//
+// The daemon's requests are one JSON object per line, attacked directly by
+// the protocol fuzz axis (src/fuzz/harness.cpp), so this parser is written
+// for robustness over features: strict grammar (RFC 8259 minus the laxness —
+// no trailing commas, no comments, no bare NaN/Infinity), a hard nesting
+// depth cap, and every malformed input reported as a parse error instead of
+// an exception or a crash. Numbers are held as double (good for every field
+// the protocol defines, all of which are small integers); \uXXXX escapes are
+// decoded to UTF-8 including surrogate pairs.
+//
+// This is intentionally not a general-purpose JSON library: no writer (see
+// `src/util/json_writer.hpp`), no document mutation, object members kept as
+// an ordered vector (requests have a handful of keys; last duplicate wins on
+// lookup so a pipelining attacker cannot smuggle two meanings of one line).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace janus::service {
+
+class json_value {
+ public:
+  enum class kind : unsigned char { null, boolean, number, string, object, array };
+
+  using member = std::pair<std::string, json_value>;
+
+  kind k = kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<member> members;    ///< object members, in document order
+  std::vector<json_value> items;  ///< array elements
+
+  [[nodiscard]] bool is_object() const { return k == kind::object; }
+  [[nodiscard]] bool is_array() const { return k == kind::array; }
+  [[nodiscard]] bool is_string() const { return k == kind::string; }
+  [[nodiscard]] bool is_number() const { return k == kind::number; }
+  [[nodiscard]] bool is_bool() const { return k == kind::boolean; }
+  [[nodiscard]] bool is_null() const { return k == kind::null; }
+
+  /// Last member named `name` (duplicate keys: the final one wins), or
+  /// nullptr. Only meaningful on objects.
+  [[nodiscard]] const json_value* find(std::string_view name) const;
+
+  /// The number as a non-negative integer <= `max`; nullopt when this is not
+  /// a number, not integral, negative, or too large. The protocol's count
+  /// fields all go through this, so 1e300-style inputs die here.
+  [[nodiscard]] std::optional<std::uint64_t> as_uint(
+      std::uint64_t max = ~std::uint64_t{0}) const;
+};
+
+struct json_parse_result {
+  std::optional<json_value> value;  ///< engaged iff the parse succeeded
+  std::string error;                ///< human-readable reason otherwise
+};
+
+/// Parse exactly one JSON value spanning all of `text` (surrounding ASCII
+/// whitespace allowed, trailing garbage rejected). `max_depth` bounds
+/// container nesting.
+[[nodiscard]] json_parse_result json_parse(std::string_view text,
+                                           int max_depth = 32);
+
+}  // namespace janus::service

@@ -1,0 +1,308 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+
+#include "bf/pla.hpp"
+#include "service/json_value.hpp"
+#include "util/check.hpp"
+#include "util/json_writer.hpp"
+
+namespace janus::service {
+
+namespace {
+
+using util::json_writer;
+
+/// Recover the request id from a parsed object for error echoing: a string
+/// (length-capped) or an integral number, else empty.
+std::string extract_id(const json_value& obj, const protocol_limits& limits) {
+  const json_value* id = obj.find("id");
+  if (id == nullptr) {
+    return {};
+  }
+  if (id->is_string() && id->string.size() <= limits.max_id_bytes) {
+    return id->string;
+  }
+  if (const auto n = id->as_uint(1'000'000'000'000ull)) {
+    return std::to_string(*n);
+  }
+  return {};
+}
+
+parse_outcome fail(std::string message, std::string id = {}) {
+  parse_outcome out;
+  out.error = std::move(message);
+  out.id = std::move(id);
+  return out;
+}
+
+/// Build the table-form target: "n" inputs, "table" a 2^n-character binary
+/// string, minterm 0 first (bf::truth_table::from_binary_string order).
+std::optional<lm::target_spec> parse_table_target(const json_value& obj,
+                                                  const protocol_limits& limits,
+                                                  std::string& error) {
+  const json_value* n = obj.find("n");
+  const json_value* table = obj.find("table");
+  if (n == nullptr || table == nullptr) {
+    error = "table form needs both \"n\" and \"table\"";
+    return std::nullopt;
+  }
+  const auto vars = n->as_uint(static_cast<std::uint64_t>(limits.max_vars));
+  if (!vars) {
+    error = "\"n\" must be an integer in [0, " +
+            std::to_string(limits.max_vars) + "]";
+    return std::nullopt;
+  }
+  if (!table->is_string()) {
+    error = "\"table\" must be a string of '0'/'1'";
+    return std::nullopt;
+  }
+  const std::size_t want = std::size_t{1} << *vars;
+  if (table->string.size() != want) {
+    error = "\"table\" must have exactly 2^n = " + std::to_string(want) +
+            " characters";
+    return std::nullopt;
+  }
+  for (const char c : table->string) {
+    if (c != '0' && c != '1') {
+      error = "\"table\" may contain only '0' and '1'";
+      return std::nullopt;
+    }
+  }
+  std::string name = "f";
+  if (const json_value* named = obj.find("name");
+      named != nullptr && named->is_string() &&
+      named->string.size() <= limits.max_id_bytes && !named->string.empty()) {
+    name = named->string;
+  }
+  return lm::target_spec::from_function(
+      bf::truth_table::from_binary_string(table->string), std::move(name));
+}
+
+/// Build one target per output of an embedded PLA.
+std::optional<std::vector<lm::target_spec>> parse_pla_targets(
+    const std::string& text, const protocol_limits& limits,
+    std::string& error) {
+  bf::pla_file pla;
+  try {
+    pla = bf::read_pla_string(text);
+  } catch (const check_error& e) {
+    error = std::string("invalid PLA: ") + e.what();
+    return std::nullopt;
+  }
+  if (pla.num_outputs > limits.max_outputs) {
+    error = "PLA has " + std::to_string(pla.num_outputs) +
+            " outputs; limit is " + std::to_string(limits.max_outputs);
+    return std::nullopt;
+  }
+  if (pla.num_inputs > limits.max_vars) {
+    error = "PLA has " + std::to_string(pla.num_inputs) +
+            " inputs; limit is " + std::to_string(limits.max_vars);
+    return std::nullopt;
+  }
+  std::vector<lm::target_spec> targets;
+  for (int o = 0; o < pla.num_outputs; ++o) {
+    const std::string name =
+        pla.output_names.empty() ? "out" + std::to_string(o)
+                                 : pla.output_names[static_cast<std::size_t>(o)];
+    targets.push_back(lm::target_spec::from_function(pla.onset(o), name));
+  }
+  return targets;
+}
+
+}  // namespace
+
+const char* op_name(request_op op) {
+  switch (op) {
+    case request_op::synth: return "synth";
+    case request_op::stats: return "stats";
+    case request_op::ping: return "ping";
+    case request_op::shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* error_name(error_code code) {
+  switch (code) {
+    case error_code::bad_request: return "bad_request";
+    case error_code::overloaded: return "overloaded";
+    case error_code::shutting_down: return "shutting_down";
+    case error_code::internal: return "internal";
+  }
+  return "unknown";
+}
+
+parse_outcome parse_request(std::string_view line,
+                            const protocol_limits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    return fail("request line exceeds " +
+                std::to_string(limits.max_line_bytes) + " bytes");
+  }
+  json_parse_result parsed = json_parse(line);
+  if (!parsed.value.has_value()) {
+    return fail("invalid JSON: " + parsed.error);
+  }
+  const json_value& obj = *parsed.value;
+  if (!obj.is_object()) {
+    return fail("request must be a JSON object");
+  }
+  std::string id = extract_id(obj, limits);
+
+  const json_value* version = obj.find("v");
+  if (version == nullptr ||
+      version->as_uint(1024) != std::optional<std::uint64_t>{
+                                    static_cast<std::uint64_t>(kProtocolVersion)}) {
+    return fail("missing or unsupported protocol version (want \"v\": 1)",
+                std::move(id));
+  }
+
+  const json_value* op = obj.find("op");
+  if (op == nullptr || !op->is_string()) {
+    return fail("missing \"op\"", std::move(id));
+  }
+
+  request req;
+  req.id = id;
+  if (op->string == "stats") {
+    req.op = request_op::stats;
+  } else if (op->string == "ping") {
+    req.op = request_op::ping;
+  } else if (op->string == "shutdown") {
+    req.op = request_op::shutdown;
+  } else if (op->string == "synth") {
+    req.op = request_op::synth;
+  } else {
+    return fail("unknown op \"" + op->string + "\"", std::move(id));
+  }
+
+  if (req.op != request_op::synth) {
+    parse_outcome out;
+    out.req = std::move(req);
+    out.id = std::move(id);
+    return out;
+  }
+
+  if (const json_value* deadline = obj.find("deadline_ms");
+      deadline != nullptr) {
+    if (!deadline->is_number() || !(deadline->number >= 0.0)) {
+      return fail("\"deadline_ms\" must be a non-negative number",
+                  std::move(id));
+    }
+    const double capped =
+        std::min(deadline->number / 1000.0, limits.max_deadline_s);
+    // 0 means "already expired" and is answered with the timeout status;
+    // absence (deadline_s == 0 with this flag unset) means server default.
+    req.deadline_s = capped;
+    if (capped == 0.0) {
+      req.deadline_s = -1.0;  // sentinel: expired on arrival
+    }
+  }
+
+  const json_value* pla = obj.find("pla");
+  const bool has_table = obj.find("table") != nullptr || obj.find("n") != nullptr;
+  if (pla != nullptr && has_table) {
+    return fail("give either \"pla\" or \"n\"+\"table\", not both",
+                std::move(id));
+  }
+  std::string error;
+  if (pla != nullptr) {
+    if (!pla->is_string()) {
+      return fail("\"pla\" must be a string", std::move(id));
+    }
+    auto targets = parse_pla_targets(pla->string, limits, error);
+    if (!targets) {
+      return fail(std::move(error), std::move(id));
+    }
+    req.targets = std::move(*targets);
+  } else if (has_table) {
+    auto target = parse_table_target(obj, limits, error);
+    if (!target) {
+      return fail(std::move(error), std::move(id));
+    }
+    req.targets.push_back(std::move(*target));
+  } else {
+    return fail("synth needs \"pla\" or \"n\"+\"table\"", std::move(id));
+  }
+
+  parse_outcome out;
+  out.id = req.id;
+  out.req = std::move(req);
+  return out;
+}
+
+namespace {
+
+void emit_header(json_writer& w, std::string_view id) {
+  w.begin_object().field("v", kProtocolVersion);
+  if (!id.empty()) {
+    w.field("id", id);
+  }
+}
+
+void emit_outputs(json_writer& w, const std::vector<output_report>& outputs) {
+  w.key("outputs").begin_array();
+  for (const output_report& o : outputs) {
+    w.begin_object()
+        .field("name", o.name)
+        .field("dims", o.dims)
+        .field("switches", o.switches)
+        .field("lb", o.lower_bound)
+        .field("nub", o.new_upper_bound)
+        .field("from_cache", o.from_cache)
+        .field("timed_out", o.timed_out)
+        .end_object();
+  }
+  w.end_array();
+}
+
+std::string finish_synth(std::string_view id, const char* status,
+                         const std::vector<output_report>& outputs,
+                         double ms) {
+  json_writer w;
+  emit_header(w, id);
+  w.field("status", status);
+  emit_outputs(w, outputs);
+  w.key("ms").value(ms, 4);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string ok_response(std::string_view id,
+                        const std::vector<output_report>& outputs, double ms) {
+  return finish_synth(id, "ok", outputs, ms);
+}
+
+std::string timeout_response(std::string_view id,
+                             const std::vector<output_report>& outputs,
+                             double ms) {
+  return finish_synth(id, "timeout", outputs, ms);
+}
+
+std::string error_response(std::string_view id, error_code code,
+                           std::string_view message) {
+  json_writer w;
+  emit_header(w, id);
+  w.field("status", "error")
+      .field("error", error_name(code))
+      .field("message", message)
+      .end_object();
+  return w.str();
+}
+
+std::string pong_response(std::string_view id) {
+  json_writer w;
+  emit_header(w, id);
+  w.field("status", "ok").field("pong", true).end_object();
+  return w.str();
+}
+
+std::string shutdown_response(std::string_view id) {
+  json_writer w;
+  emit_header(w, id);
+  w.field("status", "ok").field("draining", true).end_object();
+  return w.str();
+}
+
+}  // namespace janus::service

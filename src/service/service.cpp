@@ -1,0 +1,438 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/json_writer.hpp"
+#include "util/log.hpp"
+
+namespace janus::service {
+
+void latency_histogram::record(double ms) {
+  std::size_t bucket = upper_ms.size();  // overflow bucket
+  for (std::size_t i = 0; i < upper_ms.size(); ++i) {
+    if (ms <= upper_ms[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  ++total;
+  max_ms = std::max(max_ms, ms);
+}
+
+double latency_histogram::quantile_ms(double q) const {
+  if (total == 0) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) {
+      return i < upper_ms.size() ? upper_ms[i] : max_ms;
+    }
+  }
+  return max_ms;
+}
+
+// ---- fair_queue -------------------------------------------------------------
+
+bool fair_queue::push(std::uint64_t client, queued_job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || size_ >= capacity_) {
+      return false;
+    }
+    std::deque<queued_job>& jobs = per_client_[client];
+    if (jobs.empty()) {
+      rotation_.push_back(client);  // client (re-)enters the rotation
+    }
+    jobs.push_back(std::move(job));
+    ++size_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<queued_job> fair_queue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) {
+    return std::nullopt;  // closed and drained
+  }
+  const std::uint64_t client = rotation_.front();
+  rotation_.pop_front();
+  std::deque<queued_job>& jobs = per_client_.at(client);
+  queued_job job = std::move(jobs.front());
+  jobs.pop_front();
+  --size_;
+  if (jobs.empty()) {
+    per_client_.erase(client);
+  } else {
+    rotation_.push_back(client);  // round-robin: back of the line
+  }
+  return job;
+}
+
+void fair_queue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t fair_queue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+// ---- synthesis_service ------------------------------------------------------
+
+synthesis_service::synthesis_service(service_options options)
+    : options_(std::move(options)),
+      lattice_info_(options_.base.max_paths),
+      queue_(options_.queue_capacity) {
+  if (!options_.cache_path.empty()) {
+    try {
+      if (store_.load_file(options_.cache_path)) {
+        JANUS_LOG(info) << "service: warm cache loaded from "
+                        << options_.cache_path << " (" << store_.size()
+                        << " classes)";
+      }
+    } catch (const check_error& e) {
+      // A corrupt store must not keep the daemon from starting; it will be
+      // rebuilt and atomically rewritten on drain.
+      JANUS_LOG(warn) << "service: ignoring corrupt cache file "
+                      << options_.cache_path << ": " << e.what();
+    }
+  }
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+synthesis_service::~synthesis_service() { drain(0.0); }
+
+void synthesis_service::submit_line(std::uint64_t client,
+                                    std::string_view line,
+                                    std::function<void(std::string)> respond) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.received;
+  }
+  parse_outcome parsed = parse_request(line, options_.limits);
+  if (!parsed.req.has_value()) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.bad_requests;
+    }
+    respond(error_response(parsed.id, error_code::bad_request, parsed.error));
+    return;
+  }
+  request& req = *parsed.req;
+
+  switch (req.op) {
+    case request_op::ping:
+      respond(pong_response(req.id));
+      return;
+    case request_op::stats:
+      respond(stats_response(req.id));
+      return;
+    case request_op::shutdown: {
+      respond(shutdown_response(req.id));
+      bool first = false;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        first = !shutdown_signalled_;
+        shutdown_signalled_ = true;
+      }
+      if (first && on_shutdown_request) {
+        on_shutdown_request();
+      }
+      return;
+    }
+    case request_op::synth:
+      break;
+  }
+
+  if (draining()) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.rejected_shutting_down;
+    }
+    respond(error_response(req.id, error_code::shutting_down,
+                           "daemon is draining"));
+    return;
+  }
+
+  queued_job job;
+  job.client = client;
+  job.req = std::move(req);
+  job.respond = std::move(respond);
+  if (job.req.deadline_s < 0.0) {
+    job.dl = deadline::in_seconds(0.0);  // expired on arrival (deadline_ms: 0)
+  } else if (job.req.deadline_s > 0.0) {
+    job.dl = deadline::in_seconds(job.req.deadline_s);
+  } else if (options_.default_deadline_s > 0.0) {
+    job.dl = deadline::in_seconds(options_.default_deadline_s);
+  } else {
+    job.dl = deadline::never();
+  }
+
+  // The respond callback must survive a failed push.
+  auto reject = job.respond;
+  const std::string id = job.req.id;
+  if (!queue_.push(client, std::move(job))) {
+    const bool now_draining = draining();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++(now_draining ? counters_.rejected_shutting_down
+                      : counters_.rejected_overloaded);
+    }
+    if (now_draining) {
+      reject(error_response(id, error_code::shutting_down,
+                            "daemon is draining"));
+    } else {
+      reject(error_response(
+          id, error_code::overloaded,
+          "queue full (" + std::to_string(options_.queue_capacity) +
+              " queued)"));
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++counters_.admitted;
+}
+
+void synthesis_service::worker_loop() {
+  while (true) {
+    std::optional<queued_job> job = queue_.pop();
+    if (!job.has_value()) {
+      return;  // queue closed and drained
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++in_flight_;
+    }
+    run_job(std::move(*job));
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void synthesis_service::run_job(queued_job job) {
+  if (options_.on_job_start) {
+    options_.on_job_start(job.client, job.req.id);
+  }
+
+  // Jobs still queued when the drain grace period expires are not started.
+  if (drain_cancel_.cancel_requested()) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.rejected_shutting_down;
+    }
+    job.respond(error_response(job.req.id, error_code::shutting_down,
+                               "daemon is draining"));
+    return;
+  }
+
+  exec::cancel_source job_cancel(drain_cancel_.token());
+  std::vector<output_report> outputs;
+  outputs.reserve(job.req.targets.size());
+  sat::solver_stats solver_delta;
+  std::uint64_t probes = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  bool any_timed_out = false;
+
+  for (const lm::target_spec& target : job.req.targets) {
+    output_report report;
+    report.name = target.name();
+    report.dims = "-";
+    if (job.dl.expired() || job_cancel.cancel_requested()) {
+      // Deadline (or drain cancellation) hit before this output started.
+      report.timed_out = true;
+      any_timed_out = true;
+      outputs.push_back(std::move(report));
+      continue;
+    }
+    // Mirror synthesize_batch's per-target shard exactly — jobs=1, no shared
+    // pool, time limit clipped by the remaining deadline — so sizes are
+    // bit-identical to a direct batch run over the same store.
+    synth::janus_options per = options_.base;
+    per.time_limit_s =
+        std::min(options_.base.time_limit_s, job.dl.remaining_seconds());
+    per.jobs = 1;
+    per.exec.pool = nullptr;
+    per.exec.cancel = job_cancel.token();
+    per.solutions = &store_;
+    per.lattice_info = &lattice_info_;
+    try {
+      synth::janus_synthesizer engine(per);
+      synth::janus_result r = engine.run(target);
+      solver_delta += r.sat_totals;
+      probes += r.probes.size();
+      pruned += r.pruned_probes;
+      if (r.ub_method != "const") {
+        ++(r.from_cache ? hits : misses);
+      }
+      report.dims = r.solution_dims();
+      report.switches = r.solution_size();
+      report.lower_bound = r.lower_bound;
+      report.new_upper_bound = r.new_upper_bound;
+      report.from_cache = r.from_cache;
+      report.timed_out = r.hit_time_limit;
+      any_timed_out = any_timed_out || r.hit_time_limit;
+    } catch (const synth::no_upper_bound_error&) {
+      // The budget ran out before any construction verified; an expected
+      // outcome under a tight deadline, not an internal failure.
+      report.timed_out = true;
+      any_timed_out = true;
+    } catch (const std::exception& e) {
+      // Invariant failure in the engine: surface it as a typed internal
+      // error, keep the worker (and the daemon) alive.
+      const double ms = job.clock.seconds() * 1000.0;
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.failed_internal;
+      counters_.solver_totals += solver_delta;
+      counters_.total_probes += probes;
+      counters_.pruned_probes += pruned;
+      counters_.cache_hits += hits;
+      counters_.cache_misses += misses;
+      counters_.latency.record(ms);
+      job.respond(
+          error_response(job.req.id, error_code::internal, e.what()));
+      return;
+    }
+    outputs.push_back(std::move(report));
+  }
+
+  const double ms = job.clock.seconds() * 1000.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++(any_timed_out ? counters_.completed_timeout : counters_.completed_ok);
+    counters_.solver_totals += solver_delta;
+    counters_.total_probes += probes;
+    counters_.pruned_probes += pruned;
+    counters_.cache_hits += hits;
+    counters_.cache_misses += misses;
+    counters_.latency.record(ms);
+  }
+  job.respond(any_timed_out ? timeout_response(job.req.id, outputs, ms)
+                            : ok_response(job.req.id, outputs, ms));
+}
+
+std::string synthesis_service::stats_response(const std::string& id) const {
+  const service_stats s = stats();
+  util::json_writer w;
+  w.begin_object().field("v", kProtocolVersion);
+  if (!id.empty()) {
+    w.field("id", id);
+  }
+  w.field("status", "ok");
+  w.key("stats").begin_object();
+  w.field("received", s.received)
+      .field("admitted", s.admitted)
+      .field("rejected_overloaded", s.rejected_overloaded)
+      .field("rejected_shutting_down", s.rejected_shutting_down)
+      .field("bad_requests", s.bad_requests)
+      .field("completed_ok", s.completed_ok)
+      .field("completed_timeout", s.completed_timeout)
+      .field("failed_internal", s.failed_internal)
+      .field("queue_depth", s.queue_depth)
+      .field("in_flight", s.in_flight)
+      .field("draining", s.draining)
+      .field("cache_hits", s.cache_hits)
+      .field("cache_misses", s.cache_misses)
+      .field("total_probes", s.total_probes)
+      .field("pruned_probes", s.pruned_probes);
+  w.key("store")
+      .begin_object()
+      .field("hits", s.store.hits)
+      .field("misses", s.store.misses)
+      .field("stores", s.store.stores)
+      .field("classes", s.store_classes)
+      .end_object();
+  w.key("latency").begin_object().field("count", s.latency.total);
+  w.key("p50_ms").value(s.latency.quantile_ms(0.50), 4);
+  w.key("p90_ms").value(s.latency.quantile_ms(0.90), 4);
+  w.key("p99_ms").value(s.latency.quantile_ms(0.99), 4);
+  w.key("max_ms").value(s.latency.max_ms, 4);
+  w.end_object();
+  w.key("solver").raw(util::to_json(s.solver_totals));
+  w.end_object();  // stats
+  w.end_object();
+  return w.str();
+}
+
+bool synthesis_service::draining() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return draining_;
+}
+
+service_stats synthesis_service::stats() const {
+  service_stats s;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    s = counters_;
+    s.in_flight = in_flight_;
+    s.draining = draining_;
+  }
+  s.queue_depth = queue_.depth();
+  s.store = store_.stats();
+  s.store_classes = store_.size();
+  return s;
+}
+
+void synthesis_service::drain() { drain(options_.drain_grace_s); }
+
+void synthesis_service::drain(double grace_s) {
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (drained_) {
+      return;
+    }
+    draining_ = true;
+  }
+  queue_.close();
+
+  // Grace period: let accepted work finish on its own.
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    const auto grace = std::chrono::duration<double>(std::max(0.0, grace_s));
+    idle_cv_.wait_for(lock, grace, [&] {
+      return in_flight_ == 0 && queue_.depth() == 0;
+    });
+  }
+
+  // Whatever is still running unwinds through the cancellation tree; jobs
+  // still queued are answered `shutting_down` by the workers as they pop.
+  drain_cancel_.request_cancel();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+
+  if (!options_.cache_path.empty()) {
+    store_.save_file(options_.cache_path);  // atomic tmp + rename
+    JANUS_LOG(info) << "service: cache persisted to " << options_.cache_path
+                    << " (" << store_.size() << " classes)";
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  drained_ = true;
+}
+
+}  // namespace janus::service

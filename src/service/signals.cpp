@@ -1,0 +1,96 @@
+#include "service/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace janus::service {
+
+namespace {
+
+// Shared with the signal handler: only lock-free atomics and raw fds.
+std::atomic<int> g_pipe_write_fd{-1};
+std::atomic<int> g_fired{0};
+std::atomic<bool> g_active{false};
+
+extern "C" void on_signal_raw(int sig) {
+  int expected = 0;
+  g_fired.compare_exchange_strong(expected, sig);
+  const int fd = g_pipe_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const unsigned char byte = 1;
+    // The pipe is empty except for this one byte; a failed write (full pipe,
+    // racing close) still leaves g_fired set for the destructor's check.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+struct watcher_state {
+  int pipe_fds[2] = {-1, -1};
+  std::vector<std::pair<int, struct sigaction>> previous;
+};
+
+// The constructor/destructor pair runs on one thread; a single global state
+// instance matches the one-watcher-at-a-time contract.
+watcher_state g_state;
+
+}  // namespace
+
+signal_watcher::signal_watcher(std::initializer_list<int> signals,
+                               std::function<void(int)> on_signal) {
+  JANUS_CHECK_MSG(!g_active.exchange(true),
+              "only one signal_watcher may exist at a time");
+  g_fired.store(0);
+  JANUS_CHECK_MSG(::pipe(g_state.pipe_fds) == 0, "signal pipe creation failed");
+  // Close-on-exec so child processes (none today) do not hold the pipe open.
+  ::fcntl(g_state.pipe_fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(g_state.pipe_fds[1], F_SETFD, FD_CLOEXEC);
+  g_pipe_write_fd.store(g_state.pipe_fds[1]);
+
+  for (const int sig : signals) {
+    struct sigaction action = {};
+    action.sa_handler = on_signal_raw;
+    sigemptyset(&action.sa_mask);
+    // One graceful shot: the second signal gets the default (fatal) handler.
+    action.sa_flags = SA_RESETHAND;
+    struct sigaction old = {};
+    JANUS_CHECK_MSG(::sigaction(sig, &action, &old) == 0,
+                "sigaction failed for signal " + std::to_string(sig));
+    g_state.previous.emplace_back(sig, old);
+  }
+
+  watcher_ = std::thread([callback = std::move(on_signal)] {
+    unsigned char byte = 0;
+    const ssize_t n = ::read(g_state.pipe_fds[0], &byte, 1);
+    // n == 0: destructor closed the write end — clean shutdown, no signal.
+    if (n == 1 && callback) {
+      callback(g_fired.load());
+    }
+  });
+}
+
+signal_watcher::~signal_watcher() {
+  for (const auto& [sig, old] : g_state.previous) {
+    ::sigaction(sig, &old, nullptr);
+  }
+  g_state.previous.clear();
+  g_pipe_write_fd.store(-1);
+  ::close(g_state.pipe_fds[1]);  // EOF wakes the watcher if no signal fired
+  g_state.pipe_fds[1] = -1;
+  if (watcher_.joinable()) {
+    watcher_.join();
+  }
+  ::close(g_state.pipe_fds[0]);
+  g_state.pipe_fds[0] = -1;
+  g_active.store(false);
+}
+
+int signal_watcher::fired() const { return g_fired.load(); }
+
+}  // namespace janus::service

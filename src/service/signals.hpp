@@ -1,0 +1,48 @@
+// Signal-safe shutdown notification via the self-pipe trick.
+//
+// A POSIX signal handler may only touch async-signal-safe functions — no
+// mutexes, no condition variables, no allocation, certainly no cache
+// serialization. `signal_watcher` therefore installs a handler that does
+// exactly one safe thing (write one byte to a pipe) and runs the actual
+// shutdown callback on an ordinary watcher thread that blocks on the pipe's
+// read end. janusd uses it to turn SIGINT/SIGTERM into a graceful drain
+// (docs/service.md); janus_cli uses it to cancel in-flight synthesis and
+// flush un-persisted solution-cache entries before exiting.
+//
+// The handlers are installed with SA_RESETHAND: the first signal triggers the
+// graceful path, a second one falls through to the default disposition and
+// kills the process — an operator's escape hatch from a wedged drain.
+//
+// One instance at a time (enforced with check()): the handler needs a static
+// pipe fd, so a second concurrent watcher would silently steal the first
+// one's signals.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <thread>
+
+namespace janus::service {
+
+class signal_watcher {
+ public:
+  /// Install `on_signal` for `signals` (e.g. {SIGINT, SIGTERM}). The callback
+  /// runs at most once, on an internal thread — never in signal context — so
+  /// it may lock, allocate, and do real work.
+  signal_watcher(std::initializer_list<int> signals,
+                 std::function<void(int)> on_signal);
+
+  /// Restores the previous handlers and joins the watcher thread.
+  ~signal_watcher();
+
+  signal_watcher(const signal_watcher&) = delete;
+  signal_watcher& operator=(const signal_watcher&) = delete;
+
+  /// The signal that fired, or 0. (Polled by janus_cli for its exit code.)
+  [[nodiscard]] int fired() const;
+
+ private:
+  std::thread watcher_;
+};
+
+}  // namespace janus::service

@@ -1,0 +1,200 @@
+#include "service/socket_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace janus::service {
+
+struct socket_server::connection {
+  int fd = -1;
+  std::uint64_t client = 0;
+  std::mutex write_mutex;
+  bool open = true;  // guarded by write_mutex
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open) {
+      return;  // client gone; late responses are dropped by design
+    }
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        open = false;
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void close_socket() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (open) {
+      open = false;
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+};
+
+socket_server::socket_server(std::string socket_path, line_handler handler,
+                             std::size_t max_line_bytes)
+    : path_(std::move(socket_path)),
+      handler_(std::move(handler)),
+      max_line_bytes_(max_line_bytes) {
+  JANUS_CHECK_MSG(!path_.empty(), "socket path must not be empty");
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  JANUS_CHECK_MSG(path_.size() < sizeof(addr.sun_path),
+              "socket path too long: " + path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  JANUS_CHECK_MSG(listen_fd_ >= 0, "socket() failed");
+  ::unlink(path_.c_str());  // replace a stale socket from a killed daemon
+  JANUS_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind failed on " + path_ + ": " + std::strerror(errno));
+  JANUS_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+              "listen failed on " + path_);
+  JANUS_CHECK_MSG(::pipe(stop_pipe_) == 0, "stop pipe creation failed");
+}
+
+socket_server::~socket_server() {
+  request_stop();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::weak_ptr<connection>& weak : connections_) {
+      if (auto conn = weak.lock()) {
+        conn->close_socket();
+      }
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  ::unlink(path_.c_str());
+}
+
+void socket_server::run() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      JANUS_LOG(warn) << "service: poll failed: " << std::strerror(errno);
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      return;  // request_stop
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // transient accept failure; keep serving
+    }
+    auto conn = std::make_shared<connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->client = next_client_++;
+    connections_.push_back(conn);
+    readers_.emplace_back(
+        [this, conn = std::move(conn)] { serve_connection(conn); });
+  }
+}
+
+void socket_server::request_stop() {
+  const unsigned char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void socket_server::serve_connection(std::shared_ptr<connection> conn) {
+  std::string buffer;
+  bool skipping = false;  // discarding an over-long line up to its newline
+
+  const auto handle = [&](std::string_view line) {
+    // Responses may arrive later, from a worker thread; the shared_ptr keeps
+    // the connection's write state alive until the last one lands.
+    handler_(conn->client, line,
+             [conn](std::string response) { conn->send_line(response); });
+  };
+
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;  // EOF or error (including shutdown() from our own stop path)
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) {
+        break;
+      }
+      std::string_view line(buffer.data() + start, nl - start);
+      if (skipping) {
+        skipping = false;  // the oversized line finally ended; drop it
+        conn->send_line(error_response(
+            "", error_code::bad_request,
+            "request line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes"));
+      } else {
+        handle(line);
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    // Bound memory against a peer streaming bytes with no newline: drop the
+    // partial line now and answer with one bad_request when it ends.
+    if (!skipping && buffer.size() > max_line_bytes_) {
+      buffer.clear();
+      buffer.shrink_to_fit();
+      skipping = true;
+    } else if (skipping) {
+      buffer.clear();
+    }
+  }
+  // A final line without a trailing newline still counts (politeness for
+  // `echo -n` style clients).
+  if (!buffer.empty() && !skipping) {
+    handle(buffer);
+  }
+  conn->close_socket();
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+}  // namespace janus::service

@@ -1,0 +1,81 @@
+// Unix-domain-socket front-end for the janusd service engine.
+//
+// Transport only: accepts stream connections on a filesystem socket, splits
+// each connection's bytes into newline-delimited request lines, hands every
+// line to the owner's handler together with a thread-safe respond callback,
+// and writes response lines back. All protocol/queueing/synthesis policy
+// lives in `synthesis_service` (service.hpp) — the server never parses JSON.
+//
+// Concurrency model: one poll()-driven accept loop (run() occupies the
+// calling thread) plus one reader thread per connection. Each connection is
+// one protocol client — its id feeds the fair queue's round-robin — and may
+// pipeline requests; responses are written under a per-connection mutex in
+// completion order, matched by id. A respond callback can outlive its
+// connection (admitted jobs finish after a client hangs up); writes to a
+// closed connection are dropped, which is the documented behavior for
+// responses in flight during shutdown-under-load.
+//
+// request_stop() (async-signal-unsafe; call from the signal_watcher thread,
+// not a handler) wakes the accept loop through a self-pipe; run() then stops
+// accepting, shuts down every connection socket, joins the readers and
+// returns, after which the owner drains the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace janus::service {
+
+class socket_server {
+ public:
+  /// Handles one request line from connection `client`; must deliver exactly
+  /// one response through the callback (synthesis_service::submit_line does).
+  using line_handler = std::function<void(
+      std::uint64_t client, std::string_view line,
+      std::function<void(std::string)> respond)>;
+
+  /// Binds and listens on `socket_path` (an existing socket file is replaced
+  /// — stale sockets from a killed daemon must not block restart). Throws
+  /// janus::check_error when the address is unusable. `max_line_bytes`
+  /// bounds per-connection buffering; over-long lines are answered with one
+  /// bad_request and discarded up to the next newline.
+  socket_server(std::string socket_path, line_handler handler,
+                std::size_t max_line_bytes);
+
+  ~socket_server();
+
+  socket_server(const socket_server&) = delete;
+  socket_server& operator=(const socket_server&) = delete;
+
+  /// Accept loop; returns after request_stop(). Call from the main thread.
+  void run();
+
+  /// Stop accepting and wake run(). Safe from any thread; idempotent.
+  void request_stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+
+ private:
+  struct connection;
+
+  void serve_connection(std::shared_ptr<connection> conn);
+
+  std::string path_;
+  line_handler handler_;
+  std::size_t max_line_bytes_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+
+  std::mutex mutex_;  // guards connections_ and readers_
+  std::vector<std::weak_ptr<connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::uint64_t next_client_ = 1;
+};
+
+}  // namespace janus::service

@@ -81,6 +81,11 @@ janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
       report.methods.push_back(std::move(*sol));
     }
   };
+  // External cancellation must reach the constructions' embedded LM solves
+  // too, or a Ctrl-C during the bounds phase waits out their SAT budgets.
+  lm::lm_options bound_lm = options_.lm;
+  bound_lm.exec.cancel = options_.exec.cancel;
+  const auto cancelled = [&] { return options_.exec.cancel.cancelled(); };
   if (options_.use_dp) {
     consider(build_dp(target));
   }
@@ -90,13 +95,13 @@ janus_synthesizer::bounds_report janus_synthesizer::compute_bounds(
   if (options_.use_dps) {
     consider(build_dps(target));
   }
-  if (options_.use_ips) {
-    consider(build_ips(target, cache(), options_.lm, budget));
+  if (options_.use_ips && !cancelled()) {
+    consider(build_ips(target, cache(), bound_lm, budget));
   }
-  if (options_.use_idps) {
+  if (options_.use_idps && !cancelled()) {
     consider(build_idps(target, budget));
   }
-  if (options_.use_ds) {
+  if (options_.use_ds && !cancelled()) {
     consider(divide_and_synthesize(target, budget, options_.ds_depth));
   }
   const bound_solution* best = report.best();
@@ -453,6 +458,7 @@ std::optional<bound_solution> janus_synthesizer::divide_and_synthesize(
   lm::lm_options probe_options = options_.lm;
   probe_options.sat_time_limit_s =
       std::min(probe_options.sat_time_limit_s, 20.0);
+  probe_options.exec.cancel = options_.exec.cancel;  // Ctrl-C reaches the ladder
   lm::lm_session_pool g_sessions(gt, options_.lm.encode, options_.lm.solver);
   lm::lm_session_pool h_sessions(ht, options_.lm.encode, options_.lm.solver);
   int bc = combined.size();

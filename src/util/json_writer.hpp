@@ -1,0 +1,117 @@
+// Dependency-free JSON emission for stats endpoints and bench documents.
+//
+// Three pieces:
+//
+//   json_writer      a streaming writer with correct string escaping and
+//                    automatic comma placement. Compact by default
+//                    (`{"a": 1, "b": [2, 3]}` — note the space after ':' and
+//                    ',', which the CI greps over BENCH_*.json rely on);
+//                    constructed with an indent it pretty-prints instead.
+//   json_escape      the escaping primitive on its own.
+//   to_json(...)     canonical compact serializations of the solver/batch
+//                    counter structs, shared by the janusd `/stats` endpoint
+//                    (src/service/service.cpp) and the bench JSON emitters —
+//                    one definition of the key set instead of N fprintf
+//                    format strings.
+//
+// Numbers: doubles are emitted with up to 6 significant digits by default
+// (value(double, precision) widens); NaN/infinity — which JSON cannot
+// represent — are emitted as null. Use raw() to splice pre-formatted values
+// (e.g. a fixed-point latency or a nested to_json() object) into the stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace janus::sat {
+struct solver_stats;
+}  // namespace janus::sat
+
+namespace janus::synth {
+struct batch_result;
+}  // namespace janus::synth
+
+namespace janus::util {
+
+/// JSON string-body escaping: quotes, backslashes, and control characters
+/// (as \uXXXX). Input bytes >= 0x80 pass through untouched — the writer does
+/// not validate UTF-8, it only guarantees the output never breaks out of the
+/// string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+class json_writer {
+ public:
+  /// `indent` = 0: compact, single line. > 0: pretty-printed, that many
+  /// spaces per nesting level.
+  explicit json_writer(int indent = 0) : indent_(indent) {}
+
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+
+  /// Object member key; must be followed by exactly one value (or container).
+  json_writer& key(std::string_view name);
+
+  json_writer& value(std::string_view text);
+  json_writer& value(const char* text) { return value(std::string_view(text)); }
+  json_writer& value(bool b);
+  json_writer& value(double number, int precision = 6);
+  json_writer& value(std::int64_t number);
+  json_writer& value(std::uint64_t number);
+  // Every other integral type funnels through the two fixed-width overloads
+  // (size_t may alias uint64_t, so it cannot have an overload of its own).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::int64_t> &&
+             !std::is_same_v<T, std::uint64_t>)
+  json_writer& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(number));
+    } else {
+      return value(static_cast<std::uint64_t>(number));
+    }
+  }
+  json_writer& null();
+
+  /// Splice `text` verbatim where a value belongs. The caller vouches that it
+  /// is well-formed JSON (a to_json() result, a pre-formatted number).
+  json_writer& raw(std::string_view text);
+
+  /// key() + value() in one call, for flat objects.
+  template <typename T>
+  json_writer& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far. Finished documents have balanced containers; the
+  /// writer does not enforce that (it is a serializer, not a validator).
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void prepare_value();  ///< comma/newline/indent before a value or key
+  void open(char bracket);
+  void close(char bracket);
+
+  std::string out_;
+  int indent_ = 0;
+  bool pending_key_ = false;  ///< last token was key(): no comma, no newline
+  std::vector<bool> has_items_;  ///< per open container
+};
+
+/// Compact object with every solver_stats counter, e.g.
+/// {"conflicts": 12, "decisions": 34, ...}. Key names match the struct
+/// members (src/sat/solver.hpp:solver_stats).
+[[nodiscard]] std::string to_json(const sat::solver_stats& stats);
+
+/// Compact object with the batch-level aggregates: seconds, solved,
+/// total_switches, probe and cache counters, hit_time_limit, and the summed
+/// solver counters nested under "solver". Per-target results are not
+/// serialized — callers shape those themselves.
+[[nodiscard]] std::string to_json(const synth::batch_result& batch);
+
+}  // namespace janus::util

@@ -33,6 +33,7 @@
 //   -q / -v        quiet / verbose logging
 //
 // The full reference lives in docs/cli.md.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +43,8 @@
 
 #include "bf/pla.hpp"
 #include "cache/solution_cache.hpp"
+#include "exec/cancellation.hpp"
+#include "service/signals.hpp"
 #include "synth/baselines.hpp"
 #include "synth/batch.hpp"
 #include "synth/janus.hpp"
@@ -51,6 +54,13 @@
 namespace {
 
 using janus::lm::target_spec;
+
+/// Ctrl-C cancellation: the signal watcher fires this source, every engine
+/// constructed through make_options() carries its token, and the in-flight
+/// SAT solvers unwind cooperatively — so commands return through their normal
+/// paths and the cli_cache_scope destructor can persist the solution store
+/// instead of losing the session's entries to an abrupt exit.
+janus::exec::cancel_source g_interrupt;
 
 struct cli_config {
   double time_limit = 60.0;
@@ -103,6 +113,7 @@ janus::synth::janus_options make_options(const cli_config& cfg) {
   o.lm.solver = make_solver_options(cfg);
   o.jobs = cfg.jobs;
   o.incremental = cfg.incremental;
+  o.exec.cancel = g_interrupt.token();
   return o;
 }
 
@@ -138,6 +149,16 @@ class cli_cache_scope {
     }
   }
 
+  /// Persist on every exit path — early returns, check_error unwinds, and
+  /// the cooperative Ctrl-C cancellation — not just the happy path's
+  /// explicit save(). save_file is atomic (tmp + rename), so an interrupt
+  /// landing mid-save can clip the tmp file but never the store itself.
+  ~cli_cache_scope() {
+    if (!saved_) {
+      save();
+    }
+  }
+
   [[nodiscard]] janus::cache::solution_cache* get() {
     return cfg_.use_cache ? &store_ : nullptr;
   }
@@ -145,6 +166,7 @@ class cli_cache_scope {
   void save() {
     if (cfg_.use_cache && !cfg_.cache_path.empty()) {
       store_.save_file(cfg_.cache_path);
+      saved_ = true;
     }
   }
 
@@ -162,6 +184,7 @@ class cli_cache_scope {
  private:
   const cli_config& cfg_;
   janus::cache::solution_cache store_;
+  bool saved_ = false;
 };
 
 janus::synth::janus_result run_method(const cli_config& cfg,
@@ -472,15 +495,27 @@ int main(int argc, char** argv) {
       cfg.positional.push_back(arg);
     }
   }
+  // First Ctrl-C cancels the in-flight synthesis cooperatively (the command
+  // unwinds and cli_cache_scope persists the store); SA_RESETHAND means a
+  // second Ctrl-C kills the process the old-fashioned way.
+  janus::service::signal_watcher signals(
+      {SIGINT, SIGTERM}, [](int) { g_interrupt.request_cancel(); });
+  const auto finish = [&](int code) {
+    if (signals.fired() != 0) {
+      std::fprintf(stderr, "janus: interrupted — cache state persisted\n");
+      return 128 + signals.fired();
+    }
+    return code;
+  };
   try {
-    if (command == "synth") return cmd_synth(cfg);
-    if (command == "batch") return cmd_batch(cfg);
-    if (command == "map") return cmd_map(cfg);
-    if (command == "bounds") return cmd_bounds(cfg);
-    if (command == "table1") return cmd_table1(cfg);
+    if (command == "synth") return finish(cmd_synth(cfg));
+    if (command == "batch") return finish(cmd_batch(cfg));
+    if (command == "map") return finish(cmd_map(cfg));
+    if (command == "bounds") return finish(cmd_bounds(cfg));
+    if (command == "table1") return finish(cmd_table1(cfg));
   } catch (const janus::check_error& e) {
     std::fprintf(stderr, "janus: %s\n", e.what());
-    return 1;
+    return finish(1);
   }
   return usage();
 }
