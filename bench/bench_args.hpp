@@ -13,9 +13,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/json_writer.hpp"
+
 namespace janus::bench {
+
+/// Opening lines shared by every BENCH_* document — `{`, "bench", "seed" —
+/// with string escaping through util::json_escape, so all emitters share one
+/// escaper instead of N printf format strings.
+[[nodiscard]] inline std::string bench_json_header(std::string_view bench,
+                                                   std::uint64_t seed) {
+  return "{\n  \"bench\": \"" + util::json_escape(bench) +
+         "\",\n  \"seed\": " + std::to_string(seed) + ",\n";
+}
 
 struct bench_args {
   std::vector<std::string> positional;  ///< paths, in historical order

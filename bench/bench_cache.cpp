@@ -115,8 +115,8 @@ int main(int argc, char** argv) {
     std::snprintf(line, sizeof line, fmt, args...);
     json += line;
   };
-  emit("{\n  \"bench\": \"cache\",\n  \"seed\": %llu,\n  \"targets\": %zu,\n",
-       static_cast<unsigned long long>(args.seed), targets.size());
+  json += janus::bench::bench_json_header("cache", args.seed);
+  emit("  \"targets\": %zu,\n", targets.size());
   emit("  \"store_loaded\": %s,\n", loaded ? "true" : "false");
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   // The batch aggregates (cache counters, probe counts, summed solver stats)

@@ -169,9 +169,8 @@ int main(int argc, char** argv) {
     std::snprintf(line, sizeof line, fmt, args...);
     json += line;
   };
-  emit("{\n  \"bench\": \"incremental\",\n  \"seed\": %llu,\n"
-       "  \"targets\": %zu,\n",
-       static_cast<unsigned long long>(args.seed), targets.size());
+  json += janus::bench::bench_json_header("incremental", args.seed);
+  emit("  \"targets\": %zu,\n", targets.size());
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   emit("  \"totals\": {\n");
   emit("    \"scratch\": {\"seconds\": %.3f, \"conflicts\": %llu, "

@@ -59,9 +59,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bench_parallel: %zu targets, hardware threads=%u\n",
                targets.size(), std::thread::hardware_concurrency());
 
-  std::printf("{\n  \"bench\": \"parallel\",\n  \"seed\": %llu,\n"
-              "  \"targets\": %zu,\n",
-              static_cast<unsigned long long>(args.seed), targets.size());
+  std::fputs(janus::bench::bench_json_header("parallel", args.seed).c_str(),
+             stdout);
+  std::printf("  \"targets\": %zu,\n", targets.size());
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   std::printf("  \"runs\": [\n");

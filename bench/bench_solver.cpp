@@ -174,8 +174,8 @@ int main(int argc, char** argv) {
   const auto u = [](std::uint64_t v) {
     return static_cast<unsigned long long>(v);
   };
-  emit("{\n  \"bench\": \"solver\",\n  \"seed\": %llu,\n  \"targets\": %zu,\n",
-       static_cast<unsigned long long>(args.seed), rows.size());
+  json += janus::bench::bench_json_header("solver", args.seed);
+  emit("  \"targets\": %zu,\n", rows.size());
   emit("  \"sizes_identical\": %s,\n", sizes_match ? "true" : "false");
   emit("  \"simplifier_fired\": %s,\n", simplifier_fired ? "true" : "false");
   emit("  \"totals\": {\n");

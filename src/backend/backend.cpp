@@ -1,0 +1,91 @@
+#include "backend/backend.hpp"
+
+#include <array>
+#include <utility>
+
+#include "backend/chain.hpp"
+#include "backend/esop.hpp"
+#include "backend/lattice_backend.hpp"
+
+namespace janus::backend {
+
+const char* backend_status_name(backend_status status) {
+  switch (status) {
+    case backend_status::solved: return "solved";
+    case backend_status::timeout: return "timeout";
+    case backend_status::cancelled: return "cancelled";
+    case backend_status::failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+using factory = std::unique_ptr<synth_backend> (*)();
+
+struct registry_entry {
+  const char* name;
+  factory make;
+};
+
+// A fixed table (not load-time self-registration): janus_core is a static
+// library, where registration objects in otherwise-unreferenced translation
+// units are silently dropped by the linker. The order here IS the portfolio
+// priority order used for deterministic winner tie-breaks.
+constexpr std::array<registry_entry, 6> kRegistry{{
+    {"janus", make_janus_backend},
+    {"janus-mf", make_janus_mf_backend},
+    {"exact6", make_exact6_backend},
+    {"approx6", make_approx6_backend},
+    {"esop", make_esop_backend},
+    {"chain", make_chain_backend},
+}};
+
+}  // namespace
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(kRegistry.size());
+    for (const registry_entry& entry : kRegistry) {
+      out.emplace_back(entry.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+bool is_backend_name(std::string_view name) {
+  for (const registry_entry& entry : kRegistry) {
+    if (name == entry.name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<synth_backend> make_backend(std::string_view name) {
+  for (const registry_entry& entry : kRegistry) {
+    if (name == entry.name) {
+      return entry.make();
+    }
+  }
+  return nullptr;
+}
+
+std::optional<backend_result> reject_unsupported(
+    const char* backend, const backend_capabilities& caps,
+    const lm::target_spec& target) {
+  if (target.num_vars() <= caps.max_vars) {
+    return std::nullopt;
+  }
+  backend_result result;
+  result.backend = backend;
+  result.status = backend_status::failed;
+  result.detail = "unsupported: " + std::to_string(target.num_vars()) +
+                  " inputs exceed this backend's limit of " +
+                  std::to_string(caps.max_vars);
+  return result;
+}
+
+}  // namespace janus::backend

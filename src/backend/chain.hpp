@@ -1,0 +1,95 @@
+// Exact Boolean-chain synthesis — minimum-gate two-input circuits, the
+// percy-style single-selection-variable encoding after Éen and Knuth
+// (SNIPPETS.md snippet 3 sketches the variable layout).
+//
+// A Boolean chain is a straight-line program: step i computes a two-input
+// Boolean operator over two earlier nodes (inputs or previous steps); the
+// last step is the output. Following Knuth 7.1.2, the search is restricted
+// to NORMAL operators (f(0,0) = 0): a normal chain always outputs 0 on the
+// all-zero minterm, so a target with f(0…0) = 1 is synthesized as its
+// complement with an output-inversion flag — this does not change the
+// minimal step count and halves the encoding (minterm 0 needs no clauses).
+//
+// Per candidate step count r, one SAT instance:
+//   * selection: one variable per step i and fanin pair (j, k), j < k <
+//     n + i, exactly-one per step;
+//   * operator: three variables per step — the operator's output on input
+//     patterns 01, 10, 11 (00 is fixed to 0 by normality);
+//   * simulation: one variable per step and minterm 1 … 2^n − 1, tied to
+//     the selected fanins' values through the operator variables; the last
+//     step's column is pinned to the (normalized) target.
+//
+// r starts at the sound lower bound max(1, |support| − 1) — a chain of r
+// two-input steps reads at most r + 1 distinct inputs — and grows until
+// SAT, so the first realizable r is minimal. The extracted chain is
+// re-simulated over the full truth table as the independent oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "bf/truth_table.hpp"
+
+namespace janus::backend {
+
+/// One step: a two-input operator applied to two earlier nodes. Nodes are
+/// numbered inputs first (0 … n−1), then steps (n, n+1, …). `op` holds the
+/// operator's truth table as 4 bits, bit (a + 2b) = output on inputs (a, b);
+/// normal operators have bit 0 clear.
+struct chain_step {
+  int fanin0 = 0;
+  int fanin1 = 0;
+  std::uint8_t op = 0;
+};
+
+/// A Boolean chain plus its output designation. `output` is a node index
+/// (an input for trivial targets, otherwise the last step) or -1 for the
+/// constant 0; `output_inverted` complements it (the normality flag).
+class boolean_chain {
+ public:
+  boolean_chain() = default;
+  boolean_chain(int num_vars, std::vector<chain_step> steps, int output,
+                bool output_inverted);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] int num_steps() const {
+    return static_cast<int>(steps_.size());
+  }
+  [[nodiscard]] const std::vector<chain_step>& steps() const { return steps_; }
+  [[nodiscard]] int output() const { return output_; }
+  [[nodiscard]] bool output_inverted() const { return output_inverted_; }
+
+  /// Re-simulate every step over all minterms — the independent oracle.
+  [[nodiscard]] bf::truth_table simulate() const;
+
+  /// e.g. "x4 = AND(x0, x1); out = ~x4".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<chain_step> steps_;
+  int output_ = -1;
+  bool output_inverted_ = false;
+};
+
+class chain_realization final : public realization {
+ public:
+  explicit chain_realization(boolean_chain chain) : chain_(std::move(chain)) {}
+
+  [[nodiscard]] int cost() const override { return chain_.num_steps(); }
+  [[nodiscard]] const char* cost_unit() const override { return "steps"; }
+  [[nodiscard]] bool verify(const bf::truth_table& f) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const boolean_chain& chain() const { return chain_; }
+
+ private:
+  boolean_chain chain_;
+};
+
+[[nodiscard]] std::unique_ptr<synth_backend> make_chain_backend();
+
+}  // namespace janus::backend

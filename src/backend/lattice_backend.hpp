@@ -1,0 +1,59 @@
+// The paper's lattice engines behind the backend interface: JANUS itself,
+// the exact-[6] / approx-[6] Table II baselines (synth/baselines.hpp) and
+// JANUS-MF (synth/janus_mf.hpp) each register as a `synth_backend`, so the
+// portfolio can race the lattice flow against the ESOP and chain engines.
+// Cost is the lattice switch count; the independent oracle is the BFS
+// path evaluation (lattice::lattice_mapping::realizes).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "lattice/mapping.hpp"
+
+namespace janus::backend {
+
+class lattice_realization final : public realization {
+ public:
+  explicit lattice_realization(lattice::lattice_mapping mapping)
+      : mapping_(std::move(mapping)) {}
+
+  [[nodiscard]] int cost() const override { return mapping_.size(); }
+  [[nodiscard]] const char* cost_unit() const override { return "switches"; }
+  [[nodiscard]] bool verify(const bf::truth_table& f) const override {
+    return mapping_.realizes(f);
+  }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const lattice::lattice_mapping& mapping() const {
+    return mapping_;
+  }
+
+ private:
+  lattice::lattice_mapping mapping_;
+};
+
+/// JANUS-MF's result is a multi-output grid (here: one output).
+class multi_lattice_realization final : public realization {
+ public:
+  explicit multi_lattice_realization(lattice::multi_lattice_mapping mapping)
+      : mapping_(std::move(mapping)) {}
+
+  [[nodiscard]] int cost() const override { return mapping_.size(); }
+  [[nodiscard]] const char* cost_unit() const override { return "switches"; }
+  [[nodiscard]] bool verify(const bf::truth_table& f) const override {
+    return mapping_.num_outputs() == 1 && mapping_.realizes({f});
+  }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  lattice::multi_lattice_mapping mapping_;
+};
+
+[[nodiscard]] std::unique_ptr<synth_backend> make_janus_backend();
+[[nodiscard]] std::unique_ptr<synth_backend> make_janus_mf_backend();
+[[nodiscard]] std::unique_ptr<synth_backend> make_exact6_backend();
+[[nodiscard]] std::unique_ptr<synth_backend> make_approx6_backend();
+
+}  // namespace janus::backend

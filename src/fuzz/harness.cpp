@@ -1,12 +1,16 @@
 #include "fuzz/harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
 
+#include "backend/backend.hpp"
+#include "backend/esop.hpp"
 #include "bf/pla.hpp"
 #include "cache/solution_cache.hpp"
 #include "fuzz/generators.hpp"
@@ -14,6 +18,7 @@
 #include "service/service.hpp"
 #include "synth/baselines.hpp"
 #include "synth/janus.hpp"
+#include "synth/portfolio.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -427,6 +432,85 @@ axis_outcome axis_protocol(rng& gen, rng& mutation) {
   return {};
 }
 
+/// All registered synthesis backends run to completion (compare mode, no
+/// racing — racing makes which entries finish timing-dependent) on one random
+/// table. Every realization must pass its engine's independent oracle, and
+/// the cost orderings that hold by construction must hold in the output:
+/// exact6 lower-bounds the other lattice engines, the exact ESOP ladder never
+/// exceeds the PPRM it starts from, and a Boolean chain needs at least
+/// |support|-1 steps. Entries that hit the (generous) budget downgrade the
+/// case to skipped, never failed.
+axis_outcome axis_portfolio(rng& gen, rng& shuffle) {
+  const bf::truth_table f = random_truth_table(gen, 1, 4);
+  const lm::target_spec target = lm::target_spec::from_function(f, "fuzz");
+
+  // Present the backends in a shuffled order: compare-mode results must not
+  // depend on the order the engines run in.
+  std::vector<std::string> names = backend::backend_names();
+  for (std::size_t i = names.size(); i > 1; --i) {
+    std::swap(names[i - 1], names[shuffle.next_below(i)]);
+  }
+
+  synth::portfolio_options options;
+  options.backends = names;
+  options.base = tiny_options();
+  options.race = false;
+  const synth::portfolio_result p =
+      run_portfolio(target, options, deadline::in_seconds(120.0));
+
+  std::map<std::string, const backend::backend_result*> by_name;
+  for (const backend::backend_result& entry : p.entries) {
+    if (entry.status == backend::backend_status::timeout ||
+        entry.status == backend::backend_status::cancelled) {
+      return axis_outcome::skip(entry.backend + ": budget expired");
+    }
+    if (entry.status != backend::backend_status::solved) {
+      return axis_outcome::fail(entry.backend + " failed: " + entry.detail);
+    }
+    if (entry.realized == nullptr) {
+      return axis_outcome::fail(entry.backend +
+                                ": solved without a realization");
+    }
+    if (!entry.realized->verify(f)) {
+      return axis_outcome::fail(entry.backend +
+                                ": realization fails its oracle");
+    }
+    if (entry.cost() < entry.lower_bound) {
+      return axis_outcome::fail(entry.backend + ": cost " +
+                                std::to_string(entry.cost()) +
+                                " below reported lower bound " +
+                                std::to_string(entry.lower_bound));
+    }
+    by_name[entry.backend] = &entry;
+  }
+
+  const int exact_size = by_name.at("exact6")->cost();
+  for (const char* looser : {"janus", "janus-mf", "approx6"}) {
+    if (by_name.at(looser)->cost() < exact_size) {
+      return axis_outcome::fail(std::string(looser) + " (" +
+                                std::to_string(by_name.at(looser)->cost()) +
+                                " switches) beat exact6 (" +
+                                std::to_string(exact_size) + ")");
+    }
+  }
+  const int pprm_terms = backend::pprm(f).num_terms();
+  if (by_name.at("esop")->cost() > pprm_terms) {
+    return axis_outcome::fail(
+        "exact ESOP (" + std::to_string(by_name.at("esop")->cost()) +
+        " terms) exceeds its PPRM upper bound (" +
+        std::to_string(pprm_terms) + ")");
+  }
+  const int min_steps =
+      std::max(0, static_cast<int>(f.support().size()) - 1);
+  if (by_name.at("chain")->cost() < min_steps) {
+    return axis_outcome::fail(
+        "chain (" + std::to_string(by_name.at("chain")->cost()) +
+        " steps) below the support bound (" + std::to_string(min_steps) +
+        ")");
+  }
+  return {};
+}
+
 struct axis_info {
   axis_id id;
   const char* name;
@@ -440,6 +524,7 @@ constexpr axis_info kAxes[] = {
     {axis_id::cache_cold_warm, "cache_cold_warm"},
     {axis_id::parser_consistency, "parser_consistency"},
     {axis_id::protocol, "protocol"},
+    {axis_id::portfolio, "portfolio"},
 };
 
 }  // namespace
@@ -520,6 +605,9 @@ case_report run_case(std::uint64_t seed, std::uint64_t case_index,
       case axis_id::protocol:
         report.record.generator = kGenBadRequest;
         outcome = axis_protocol(gen, mutation);
+        break;
+      case axis_id::portfolio:
+        outcome = axis_portfolio(gen, shuffle);
         break;
     }
   } catch (const std::exception& e) {

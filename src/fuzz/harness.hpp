@@ -31,6 +31,13 @@
 //                        untouched-valid lines are never rejected as
 //                        bad_request, `internal` errors are failures, and
 //                        drain() must return.
+//   portfolio            every registered synthesis backend run to
+//                        completion on one table: each realization passes
+//                        its engine's independent oracle, exact6
+//                        lower-bounds the other lattice engines, the exact
+//                        ESOP never exceeds its PPRM bound, a chain needs
+//                        at least |support|-1 steps; budget expiries skip
+//                        the case, never fail it.
 //
 // Cases are fully determined by (master seed, case index): each case draws
 // from rng::fork streams only, so run_case replays any case in isolation —
@@ -55,6 +62,7 @@ enum class axis_id : std::uint8_t {
   cache_cold_warm,
   parser_consistency,
   protocol,
+  portfolio,
 };
 
 [[nodiscard]] const char* axis_name(axis_id axis);

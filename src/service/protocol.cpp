@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/backend.hpp"
 #include "bf/pla.hpp"
 #include "service/json_value.hpp"
 #include "util/check.hpp"
@@ -198,6 +199,23 @@ parse_outcome parse_request(std::string_view line,
     }
   }
 
+  if (const json_value* backend = obj.find("backend"); backend != nullptr) {
+    if (!backend->is_string()) {
+      return fail("\"backend\" must be a string", std::move(id));
+    }
+    if (backend->string != "portfolio" &&
+        !janus::backend::is_backend_name(backend->string)) {
+      std::string known;
+      for (const std::string& name : janus::backend::backend_names()) {
+        known += known.empty() ? name : (" " + name);
+      }
+      return fail("unknown backend \"" + backend->string + "\" (known: " +
+                      known + " portfolio)",
+                  std::move(id));
+    }
+    req.backend = backend->string;
+  }
+
   const json_value* pla = obj.find("pla");
   const bool has_table = obj.find("table") != nullptr || obj.find("n") != nullptr;
   if (pla != nullptr && has_table) {
@@ -249,8 +267,13 @@ void emit_outputs(json_writer& w, const std::vector<output_report>& outputs) {
         .field("lb", o.lower_bound)
         .field("nub", o.new_upper_bound)
         .field("from_cache", o.from_cache)
-        .field("timed_out", o.timed_out)
-        .end_object();
+        .field("timed_out", o.timed_out);
+    if (!o.backend.empty()) {
+      w.field("backend", o.backend)
+          .field("cost", o.cost)
+          .field("unit", o.cost_unit);
+    }
+    w.end_object();
   }
   w.end_array();
 }

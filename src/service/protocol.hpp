@@ -7,6 +7,8 @@
 //   {"v":1, "op":"synth", "id":"r1", "n":3, "table":"01101001"}
 //   {"v":1, "op":"synth", "id":"r2", "pla":".i 2\n.o 1\n11 1\n.e\n",
 //    "deadline_ms": 500}
+//   {"v":1, "op":"synth", "id":"r3", "n":3, "table":"01101001",
+//    "backend":"portfolio"}
 //   {"v":1, "op":"stats", "id":"s1"}
 //   {"v":1, "op":"ping"}
 //   {"v":1, "op":"shutdown"}
@@ -65,6 +67,11 @@ struct request {
   /// table-form function.
   std::vector<lm::target_spec> targets;
   double deadline_s = 0.0;  ///< 0 = server default
+  /// Optional "backend" field: a registered backend name routes the request
+  /// through that engine, "portfolio" races them all. Validated at parse
+  /// time — an unknown name is a typed bad_request, never a dropped
+  /// connection. Empty = the classic JANUS path.
+  std::string backend;
 };
 
 struct parse_outcome {
@@ -86,6 +93,12 @@ struct output_report {
   int new_upper_bound = 0;
   bool from_cache = false;
   bool timed_out = false;  ///< this output's ladder hit the deadline
+  /// Backend-routed requests only: the engine that produced this output and
+  /// its cost in that engine's own unit ("switches", "terms", "steps").
+  /// Emitted on the wire only when `backend` is non-empty.
+  std::string backend;
+  int cost = 0;
+  std::string cost_unit;
 };
 
 /// {"v":1,"id":...,"status":"ok","outputs":[...],"ms":...}

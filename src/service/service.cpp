@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "backend/backend.hpp"
+#include "synth/portfolio.hpp"
 #include "util/check.hpp"
 #include "util/json_writer.hpp"
 #include "util/log.hpp"
@@ -254,6 +256,8 @@ void synthesis_service::run_job(queued_job job) {
   std::uint64_t pruned = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::map<std::string, std::uint64_t> backend_runs;
+  std::map<std::string, std::uint64_t> backend_wins;
   bool any_timed_out = false;
 
   for (const lm::target_spec& target : job.req.targets) {
@@ -278,6 +282,43 @@ void synthesis_service::run_job(queued_job job) {
     per.exec.cancel = job_cancel.token();
     per.solutions = &store_;
     per.lattice_info = &lattice_info_;
+    if (!job.req.backend.empty()) {
+      // Backend-routed request: race (or solo-run) the selected engines.
+      // The lattice backends still see the shared caches through `per`.
+      synth::portfolio_options popts;
+      popts.backends = job.req.backend == "portfolio"
+                           ? backend::backend_names()
+                           : std::vector<std::string>{job.req.backend};
+      popts.base = per;
+      exec::context ctx;
+      ctx.cancel = job_cancel.token();
+      const synth::portfolio_result p =
+          synth::run_portfolio(target, popts, job.dl, ctx);
+      for (const backend::backend_result& entry : p.entries) {
+        solver_delta += entry.sat;
+        ++backend_runs[entry.backend];
+      }
+      const backend::backend_result* win = p.winning();
+      if (win != nullptr) {
+        ++backend_wins[win->backend];
+        report.backend = win->backend;
+        report.cost = win->cost();
+        report.cost_unit = win->realized->cost_unit();
+        report.lower_bound = win->lower_bound;
+        report.new_upper_bound = win->cost();
+        if (report.cost_unit == "switches") {
+          report.switches = win->cost();
+        }
+      } else {
+        // No engine converged within the deadline (every backend the limits
+        // admit can represent a <= max_vars target, so non-convergence here
+        // is a budget outcome, not an unsupported target).
+        report.timed_out = true;
+        any_timed_out = true;
+      }
+      outputs.push_back(std::move(report));
+      continue;
+    }
     try {
       synth::janus_synthesizer engine(per);
       synth::janus_result r = engine.run(target);
@@ -310,6 +351,12 @@ void synthesis_service::run_job(queued_job job) {
       counters_.pruned_probes += pruned;
       counters_.cache_hits += hits;
       counters_.cache_misses += misses;
+      for (const auto& [name, n] : backend_runs) {
+        counters_.backend_requests[name] += n;
+      }
+      for (const auto& [name, n] : backend_wins) {
+        counters_.backend_wins[name] += n;
+      }
       counters_.latency.record(ms);
       job.respond(
           error_response(job.req.id, error_code::internal, e.what()));
@@ -327,6 +374,12 @@ void synthesis_service::run_job(queued_job job) {
     counters_.pruned_probes += pruned;
     counters_.cache_hits += hits;
     counters_.cache_misses += misses;
+    for (const auto& [name, n] : backend_runs) {
+      counters_.backend_requests[name] += n;
+    }
+    for (const auto& [name, n] : backend_wins) {
+      counters_.backend_wins[name] += n;
+    }
     counters_.latency.record(ms);
   }
   job.respond(any_timed_out ? timeout_response(job.req.id, outputs, ms)
@@ -357,6 +410,17 @@ std::string synthesis_service::stats_response(const std::string& id) const {
       .field("cache_misses", s.cache_misses)
       .field("total_probes", s.total_probes)
       .field("pruned_probes", s.pruned_probes);
+  w.key("backends").begin_object();
+  for (const auto& [name, runs] : s.backend_requests) {
+    const auto wins = s.backend_wins.find(name);
+    w.key(name)
+        .begin_object()
+        .field("requests", runs)
+        .field("wins", wins != s.backend_wins.end() ? wins->second
+                                                    : std::uint64_t{0})
+        .end_object();
+  }
+  w.end_object();
   w.key("store")
       .begin_object()
       .field("hits", s.store.hits)

@@ -99,6 +99,12 @@ struct service_stats {
   std::uint64_t total_probes = 0;
   std::uint64_t pruned_probes = 0;
   sat::solver_stats solver_totals;
+  // Backend-routed requests (requests carrying a "backend" field): how many
+  // times each registered backend ran a target / won its target's race. A
+  // "portfolio" request counts one run per raced backend, one win for the
+  // winner; a named-backend request counts one of each when it solves.
+  std::map<std::string, std::uint64_t> backend_requests;
+  std::map<std::string, std::uint64_t> backend_wins;
   // Shared store, as reported by the cache itself.
   cache::cache_stats store;
   std::size_t store_classes = 0;

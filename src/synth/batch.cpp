@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string_view>
 
 #include "util/log.hpp"
 
@@ -10,7 +11,12 @@ namespace janus::synth {
 batch_result synthesize_batch(std::span<const lm::target_spec> targets,
                               const batch_options& options) {
   batch_result batch;
-  batch.results.resize(targets.size());
+  const bool use_portfolio = !options.backends.empty();
+  if (use_portfolio) {
+    batch.portfolio.resize(targets.size());
+  } else {
+    batch.results.resize(targets.size());
+  }
   stopwatch batch_clock;
   const double per_target = options.per_target_time_limit_s > 0.0
                                 ? options.per_target_time_limit_s
@@ -29,10 +35,24 @@ batch_result synthesize_batch(std::span<const lm::target_spec> targets,
     exec::task_group group(pool.get());
     for (std::size_t i = 0; i < targets.size(); ++i) {
       group.run([&, i] {
-        janus_options per = options.base;
         // Per-target deadline, clipped by whatever remains of the batch
         // budget at the moment this target actually starts.
-        per.time_limit_s = std::min(per_target, total.remaining_seconds());
+        const double budget = std::min(per_target, total.remaining_seconds());
+        if (use_portfolio) {
+          portfolio_options popts;
+          popts.backends = options.backends;
+          popts.base = options.base;
+          exec::context ctx;
+          ctx.pool = options.parallel_probes ? pool.get() : nullptr;
+          batch.portfolio[i] = run_portfolio(
+              targets[i], popts, deadline::in_seconds(budget), ctx);
+          const backend::backend_result* win = batch.portfolio[i].winning();
+          JANUS_LOG(info) << "batch: " << targets[i].name() << " -> "
+                          << (win != nullptr ? win->backend : "no winner");
+          return;
+        }
+        janus_options per = options.base;
+        per.time_limit_s = budget;
         per.jobs = 1;  // sharding decides; the shared pool adds the rest
         per.exec.pool = options.parallel_probes ? pool.get() : nullptr;
         janus_synthesizer engine(per);
@@ -45,6 +65,22 @@ batch_result synthesize_batch(std::span<const lm::target_spec> targets,
     group.wait();
   }
 
+  for (const portfolio_result& p : batch.portfolio) {
+    const backend::backend_result* win = p.winning();
+    if (win != nullptr) {
+      ++batch.solved;
+      if (win->realized != nullptr &&
+          std::string_view(win->realized->cost_unit()) == "switches") {
+        batch.total_switches += win->cost();
+      }
+    }
+    for (const backend::backend_result& entry : p.entries) {
+      batch.solver_totals += entry.sat;
+      batch.hit_time_limit =
+          batch.hit_time_limit ||
+          entry.status == backend::backend_status::timeout;
+    }
+  }
   for (const janus_result& r : batch.results) {
     batch.solver_totals += r.sat_totals;
     batch.total_probes += r.probes.size();

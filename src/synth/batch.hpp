@@ -14,14 +14,23 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "synth/janus.hpp"
+#include "synth/portfolio.hpp"
 
 namespace janus::synth {
 
 struct batch_options {
   janus_options base;  ///< per-target options (jobs/exec fields are ignored)
+
+  /// Non-empty: route every target through the backend portfolio (these
+  /// names, in priority order) instead of the classic JANUS path — each
+  /// target's backends race on the shared pool and `batch_result::portfolio`
+  /// carries the per-target tables (`results` stays empty). Empty (the
+  /// default) keeps the classic path bit-identical.
+  std::vector<std::string> backends;
 
   /// Pool width shared by target sharding, probe fan-out and races.
   int jobs = 1;
@@ -41,6 +50,12 @@ struct batch_options {
 
 struct batch_result {
   std::vector<janus_result> results;  ///< input order, one per target
+  /// Portfolio mode only (`batch_options::backends` non-empty): one racing
+  /// table per target, input order. `solved` then counts targets with a
+  /// definitive winner and `total_switches` sums winner costs of the
+  /// lattice-cost backends only (ESOP terms and chain steps are not
+  /// switches).
+  std::vector<portfolio_result> portfolio;
   sat::solver_stats solver_totals;    ///< summed over all dichotomic probes
   std::uint64_t total_probes = 0;
   /// Probes answered from the UNSAT frontiers without solving (incremental

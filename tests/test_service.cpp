@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bf/truth_table.hpp"
 #include "service/json_value.hpp"
 #include "service/protocol.hpp"
@@ -486,6 +487,97 @@ TEST(ServiceStats, CountersTrackActivity) {
             1u);
   ASSERT_NE(stats->find("latency"), nullptr);
   ASSERT_NE(stats->find("solver"), nullptr);
+}
+
+// ---- backend routing --------------------------------------------------------
+
+std::string backend_synth_line(const std::string& id, const std::string& bits,
+                               const std::string& backend) {
+  std::string line = synth_line(id, bits);
+  line.insert(line.size() - 1, ",\"backend\":\"" + backend + "\"");
+  return line;
+}
+
+TEST(ServiceBackends, UnknownBackendNameIsTypedBadRequest) {
+  response_sink sink;
+  synthesis_service svc(quick_options());
+  svc.submit_line(1, backend_synth_line("b1", "0110", "nosuch"),
+                  sink.callback());
+  ASSERT_TRUE(sink.wait_for(1));
+  const json_value doc = parse_response(sink.snapshot()[0]);
+  EXPECT_EQ(field_string(doc, "status"), "error");
+  EXPECT_EQ(field_string(doc, "error"), "bad_request");
+  EXPECT_NE(field_string(doc, "message").find("unknown backend"),
+            std::string::npos);
+  // The connection-level contract: the daemon keeps answering.
+  svc.submit_line(1, "{\"v\":1,\"op\":\"ping\",\"id\":\"p\"}", sink.callback());
+  ASSERT_TRUE(sink.wait_for(2));
+  EXPECT_EQ(field_string(parse_response(sink.snapshot()[1]), "status"), "ok");
+}
+
+TEST(ServiceBackends, NamedBackendReportsCostInItsOwnUnit) {
+  response_sink sink;
+  synthesis_service svc(quick_options());
+  // xor2 is exactly 2 ESOP terms (a ^ b); minterm order bits "0110".
+  svc.submit_line(1, backend_synth_line("e1", "0110", "esop"),
+                  sink.callback());
+  ASSERT_TRUE(sink.wait_for(1));
+  const json_value doc = parse_response(sink.snapshot()[0]);
+  EXPECT_EQ(field_string(doc, "status"), "ok");
+  const json_value* outputs = doc.find("outputs");
+  ASSERT_NE(outputs, nullptr);
+  ASSERT_EQ(outputs->items.size(), 1u);
+  const json_value& out = outputs->items[0];
+  EXPECT_EQ(field_string(out, "backend"), "esop");
+  EXPECT_EQ(field_string(out, "unit"), "terms");
+  ASSERT_NE(out.find("cost"), nullptr);
+  EXPECT_EQ(static_cast<int>(out.find("cost")->number), 2);
+
+  const service_stats s = svc.stats();
+  ASSERT_TRUE(s.backend_requests.count("esop"));
+  EXPECT_EQ(s.backend_requests.at("esop"), 1u);
+  EXPECT_EQ(s.backend_wins.at("esop"), 1u);
+}
+
+TEST(ServiceBackends, PortfolioRacesEveryBackendAndCountsTheWinner) {
+  response_sink sink;
+  synthesis_service svc(quick_options());
+  svc.submit_line(1, backend_synth_line("p1", "01101000", "portfolio"),
+                  sink.callback());
+  ASSERT_TRUE(sink.wait_for(1));
+  const json_value doc = parse_response(sink.snapshot()[0]);
+  EXPECT_EQ(field_string(doc, "status"), "ok");
+  const json_value* outputs = doc.find("outputs");
+  ASSERT_NE(outputs, nullptr);
+  ASSERT_EQ(outputs->items.size(), 1u);
+  const std::string winner = field_string(outputs->items[0], "backend");
+  EXPECT_TRUE(janus::backend::is_backend_name(winner)) << winner;
+
+  const service_stats s = svc.stats();
+  std::uint64_t wins = 0;
+  for (const std::string& name : janus::backend::backend_names()) {
+    ASSERT_TRUE(s.backend_requests.count(name)) << name;
+    EXPECT_EQ(s.backend_requests.at(name), 1u);
+    const auto it = s.backend_wins.find(name);
+    wins += it != s.backend_wins.end() ? it->second : 0;
+  }
+  EXPECT_EQ(wins, 1u);
+
+  // The /stats wire form carries the per-backend table.
+  response_sink stats_sink;
+  svc.submit_line(1, "{\"v\":1,\"op\":\"stats\",\"id\":\"q\"}",
+                  stats_sink.callback());
+  ASSERT_TRUE(stats_sink.wait_for(1));
+  const json_value stats_doc = parse_response(stats_sink.snapshot()[0]);
+  const json_value* stats = stats_doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  const json_value* backends = stats->find("backends");
+  ASSERT_NE(backends, nullptr);
+  ASSERT_TRUE(backends->is_object());
+  const json_value* winner_entry = backends->find(winner.c_str());
+  ASSERT_NE(winner_entry, nullptr);
+  EXPECT_EQ(static_cast<int>(winner_entry->find("requests")->number), 1);
+  EXPECT_EQ(static_cast<int>(winner_entry->find("wins")->number), 1);
 }
 
 // ---- signal watcher ---------------------------------------------------------

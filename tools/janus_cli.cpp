@@ -9,6 +9,10 @@
 //   janus map    "ab + c" MxN          decide one lattice-mapping instance
 //   janus bounds "ab + c"              print every bound construction
 //   janus table1 [max]                 print lattice-function product counts
+//   janus compare "ab + c" | -p f.pla  run EVERY synthesis backend to
+//                                      completion and print the cost table
+//                                      (lattice switches vs ESOP terms vs
+//                                      chain steps)
 //
 // Common flags:
 //   -t SECONDS     overall time limit (default 60)
@@ -30,6 +34,11 @@
 //                  solved classes without resynthesis
 //   --no-cache     disable solution reuse entirely (also in-memory)
 //   -m exact|approx6|exact6|heur11|pc9 algorithm (default: JANUS)
+//   --backend NAME|portfolio
+//                  route synth/batch through a registered synthesis backend
+//                  (janus, janus-mf, exact6, approx6, esop, chain), or race
+//                  them all per target ("portfolio"); overrides -m. See
+//                  docs/backends.md.
 //   -q / -v        quiet / verbose logging
 //
 // The full reference lives in docs/cli.md.
@@ -41,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bf/pla.hpp"
 #include "cache/solution_cache.hpp"
 #include "exec/cancellation.hpp"
@@ -49,6 +59,7 @@
 #include "synth/batch.hpp"
 #include "synth/janus.hpp"
 #include "synth/janus_mf.hpp"
+#include "synth/portfolio.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -73,6 +84,7 @@ struct cli_config {
   bool use_cache = true;       ///< in-memory NP-canonical solution reuse
   std::string cache_path;      ///< optional on-disk persistence (--cache)
   std::string method = "janus";
+  std::string backend;  ///< --backend: a registered name or "portfolio"
   std::string pla_path;
   int pla_output = -1;
   std::vector<std::string> positional;
@@ -80,8 +92,9 @@ struct cli_config {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: janus <synth|batch|map|bounds|table1> [args] "
+               "usage: janus <synth|batch|map|bounds|table1|compare> [args] "
                "[-p file.pla] [-o N] [-t sec] [-s sec] [-j jobs] [-m method] "
+               "[--backend name|portfolio] "
                "[--incremental|--no-incremental] "
                "[--inprocess|--no-inprocess] [--restart luby|ema] [--stats] "
                "[--cache file|--no-cache] [-q|-v]\n");
@@ -244,6 +257,66 @@ std::vector<target_spec> collect_targets(const cli_config& cfg) {
   return targets;
 }
 
+/// The backend names `--backend` selects: one registered name, or every
+/// registered backend in priority order for "portfolio" (and for compare
+/// mode's default).
+std::vector<std::string> backend_selection(const cli_config& cfg) {
+  if (cfg.backend.empty() || cfg.backend == "portfolio") {
+    return janus::backend::backend_names();
+  }
+  return {cfg.backend};
+}
+
+/// One row per backend: status, cost in the backend's own unit, optimality,
+/// wall time, and the realization summary. Marks the portfolio winner.
+void print_portfolio_table(const janus::synth::portfolio_result& p) {
+  for (std::size_t i = 0; i < p.entries.size(); ++i) {
+    const auto& e = p.entries[i];
+    std::string cost = "-";
+    if (e.realized != nullptr) {
+      cost = std::to_string(e.realized->cost()) + " " + e.realized->cost_unit();
+    }
+    std::printf("  %-9s %-9s %-12s %s%6.2fs%s%s\n", e.backend.c_str(),
+                janus::backend::backend_status_name(e.status), cost.c_str(),
+                e.optimal ? "optimal  " : "         ", e.seconds,
+                static_cast<int>(i) == p.winner ? "  << winner" : "",
+                e.detail.empty() ? "" : ("  [" + e.detail + "]").c_str());
+  }
+}
+
+/// `synth --backend ...`: race (or solo-run) the selected backends on each
+/// target and print the winner's realization.
+int run_synth_backends(const cli_config& cfg,
+                       const std::vector<target_spec>& targets) {
+  int solved = 0;
+  for (const auto& target : targets) {
+    janus::synth::portfolio_options o;
+    o.backends = backend_selection(cfg);
+    o.base = make_options(cfg);
+    o.jobs = cfg.jobs;
+    janus::exec::context ctx;
+    ctx.cancel = g_interrupt.token();
+    const auto p = janus::synth::run_portfolio(
+        target, o, janus::deadline::in_seconds(cfg.time_limit), ctx);
+    std::printf("%s:\n", target.name().c_str());
+    print_portfolio_table(p);
+    const auto* win = p.winning();
+    if (win == nullptr) {
+      std::fprintf(stderr, "janus: no backend solved %s within the budget\n",
+                   target.name().c_str());
+      continue;
+    }
+    ++solved;
+    std::printf("  %s\n", win->realized->describe().c_str());
+    if (cfg.show_stats) {
+      for (const auto& e : p.entries) {
+        print_solver_stats(e.sat);
+      }
+    }
+  }
+  return solved == static_cast<int>(targets.size()) ? 0 : 1;
+}
+
 int cmd_synth(const cli_config& cfg) {
   if (cfg.pla_path.empty() && cfg.positional.empty()) {
     return usage();
@@ -251,6 +324,9 @@ int cmd_synth(const cli_config& cfg) {
   std::vector<target_spec> targets = collect_targets(cfg);
   if (targets.empty()) {
     return 1;
+  }
+  if (!cfg.backend.empty()) {
+    return run_synth_backends(cfg, targets);
   }
 
   cli_cache_scope cache(cfg);
@@ -309,8 +385,33 @@ int cmd_batch(const cli_config& cfg) {
   // -t stays the *overall* limit, as documented; targets starting late get
   // whatever remains of it (per-target limit defaults to the same value).
   o.total_time_limit_s = cfg.time_limit;
+  if (!cfg.backend.empty()) {
+    o.backends = backend_selection(cfg);
+  }
   const auto b = janus::synth::synthesize_batch(targets, o);
   cache.save();
+  if (!cfg.backend.empty()) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto& p = b.portfolio[i];
+      const auto* win = p.winning();
+      if (win != nullptr) {
+        std::printf("%-12s %-9s %4d %-8s %6.2fs\n", targets[i].name().c_str(),
+                    win->backend.c_str(), win->realized->cost(),
+                    win->realized->cost_unit(), p.seconds);
+      } else {
+        std::printf("%-12s %-9s %s\n", targets[i].name().c_str(), "-",
+                    "no backend finished within the budget");
+      }
+    }
+    std::printf("batch: %d/%zu solved, %llu conflicts, %.2fs wall (jobs=%d)\n",
+                b.solved, targets.size(),
+                static_cast<unsigned long long>(b.solver_totals.conflicts),
+                b.seconds, cfg.jobs);
+    if (cfg.show_stats) {
+      print_solver_stats(b.solver_totals);
+    }
+    return b.solved == static_cast<int>(targets.size()) ? 0 : 1;
+  }
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const auto& r = b.results[i];
     std::printf("%-12s %7s  %3d switches  lb=%-3d nub=%-3d %6.2fs%s%s\n",
@@ -406,6 +507,36 @@ int cmd_bounds(const cli_config& cfg) {
   return 0;
 }
 
+/// Every selected backend runs to completion (no racing, no cancellation),
+/// so the table is fully reproducible: each row is that backend's
+/// standalone deterministic result for the target.
+int cmd_compare(const cli_config& cfg) {
+  if (cfg.pla_path.empty() && cfg.positional.empty()) {
+    return usage();
+  }
+  const std::vector<target_spec> targets = collect_targets(cfg);
+  if (targets.empty()) {
+    return 1;
+  }
+  int with_winner = 0;
+  for (const auto& target : targets) {
+    janus::synth::portfolio_options o;
+    o.backends = backend_selection(cfg);
+    o.base = make_options(cfg);
+    o.race = false;  // the whole point: comparable, reproducible rows
+    janus::exec::context ctx;
+    ctx.cancel = g_interrupt.token();
+    const auto p = janus::synth::run_portfolio(
+        target, o, janus::deadline::in_seconds(cfg.time_limit), ctx);
+    std::printf("%s (%d vars):\n", target.name().c_str(), target.num_vars());
+    print_portfolio_table(p);
+    if (p.winner >= 0) {
+      ++with_winner;
+    }
+  }
+  return with_winner == static_cast<int>(targets.size()) ? 0 : 1;
+}
+
 int cmd_table1(const cli_config& cfg) {
   int max = 8;
   if (!cfg.positional.empty()) {
@@ -479,6 +610,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       cfg.method = v;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.backend = v;
+      if (cfg.backend != "portfolio" &&
+          !janus::backend::is_backend_name(cfg.backend)) {
+        std::fprintf(stderr, "janus: unknown backend '%s' (known:", v);
+        for (const auto& name : janus::backend::backend_names()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, " portfolio)\n");
+        return 2;
+      }
     } else if (arg == "-p") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -513,6 +657,7 @@ int main(int argc, char** argv) {
     if (command == "map") return finish(cmd_map(cfg));
     if (command == "bounds") return finish(cmd_bounds(cfg));
     if (command == "table1") return finish(cmd_table1(cfg));
+    if (command == "compare") return finish(cmd_compare(cfg));
   } catch (const janus::check_error& e) {
     std::fprintf(stderr, "janus: %s\n", e.what());
     return finish(1);
