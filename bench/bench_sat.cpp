@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace janus;  // NOLINT: bench-local concision
+using namespace janus;  // NOLINT(google-build-using-namespace): bench-local concision
 
 sat::cnf random_3sat(std::uint64_t seed, int vars, double ratio) {
   rng r(seed);

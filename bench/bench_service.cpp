@@ -25,13 +25,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +47,7 @@
 #include "synth/batch.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -255,39 +254,46 @@ class inproc_transport : public transport {
       : svc_(svc), client_(client) {}
 
   std::string roundtrip(const std::string& line) override {
-    std::mutex m;
-    std::condition_variable cv;
+    janus::util::mutex m;
+    janus::util::cond_var cv;
     std::string response;
     bool done = false;
     svc_->submit_line(client_, line, [&](std::string r) {
-      std::lock_guard<std::mutex> lock(m);
+      janus::util::lock_guard lock(m);
       response = std::move(r);
       done = true;
       cv.notify_all();
     });
-    std::unique_lock<std::mutex> lock(m);
-    if (!cv.wait_for(lock, std::chrono::seconds(120), [&] { return done; })) {
-      fatal("no response within 120s for: " + line);
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    janus::util::unique_lock lock(m);
+    while (!done) {
+      if (cv.wait_until(lock, give_up) == std::cv_status::timeout) {
+        fatal("no response within 120s for: " + line);
+      }
     }
     return response;
   }
 
   std::vector<std::string> burst(
       const std::vector<std::string>& lines) override {
-    std::mutex m;
-    std::condition_variable cv;
+    janus::util::mutex m;
+    janus::util::cond_var cv;
     std::vector<std::string> responses;
     for (const std::string& line : lines) {
       svc_->submit_line(client_, line, [&](std::string r) {
-        std::lock_guard<std::mutex> lock(m);
+        janus::util::lock_guard lock(m);
         responses.push_back(std::move(r));
         cv.notify_all();
       });
     }
-    std::unique_lock<std::mutex> lock(m);
-    if (!cv.wait_for(lock, std::chrono::seconds(120),
-                     [&] { return responses.size() >= lines.size(); })) {
-      fatal("burst responses incomplete");
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    janus::util::unique_lock lock(m);
+    while (responses.size() < lines.size()) {
+      if (cv.wait_until(lock, give_up) == std::cv_status::timeout) {
+        fatal("burst responses incomplete");
+      }
     }
     return responses;
   }
@@ -552,7 +558,7 @@ int main(int argc, char** argv) {
 
   // Closed-loop stream: `clients` threads pulling the next request index.
   std::atomic<std::size_t> next{0};
-  std::mutex tally_mutex;
+  janus::util::mutex tally_mutex;
   tally totals;
   janus::stopwatch stream_clock;
   std::vector<std::thread> threads;
@@ -571,7 +577,7 @@ int main(int argc, char** argv) {
         local.latencies_ms.push_back(rt.seconds() * 1000.0);
         account(w.stream[k], response, /*in_burst=*/false, local);
       }
-      std::lock_guard<std::mutex> lock(tally_mutex);
+      janus::util::lock_guard lock(tally_mutex);
       totals.ok += local.ok;
       totals.timeout += local.timeout;
       totals.bad_request += local.bad_request;
@@ -664,8 +670,6 @@ int main(int argc, char** argv) {
 
   janus::util::json_writer doc(2);
   doc.begin_object()
-      .field("bench", "service")
-      .field("seed", args.seed)
       .field("mode", socket_path.empty() ? "inprocess" : "socket")
       .field("clients", clients);
   doc.key("requests")
@@ -701,7 +705,12 @@ int main(int argc, char** argv) {
   doc.key("server").raw(server_stats_raw);
   doc.end_object();
 
-  std::string json = doc.str();
+  // Open with the shared bench_json_header (the "bench"/"seed" preamble every
+  // BENCH_* document carries; tools/check_lint.py enforces it), then splice
+  // in the json_writer body past its own "{\n" — both sides pretty-print at
+  // two spaces, so the seam is invisible.
+  std::string json = janus::bench::bench_json_header("service", args.seed);
+  json += doc.str().substr(2);
   json += "\n";
   std::fputs(json.c_str(), stdout);
   if (std::FILE* f = std::fopen(json_path, "w")) {

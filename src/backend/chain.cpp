@@ -70,20 +70,33 @@ std::string boolean_chain::str() const {
   std::string out;
   for (std::size_t i = 0; i < steps_.size(); ++i) {
     const chain_step& step = steps_[i];
-    out += "x" + std::to_string(num_vars_ + static_cast<int>(i)) + " = ";
+    // Appends, not `"x" + std::to_string(...)`: the operator+ form trips
+    // GCC 12's bogus -Wrestrict at -O3 (GCC PR105329) under -Werror.
+    out += 'x';
+    out += std::to_string(num_vars_ + static_cast<int>(i));
+    out += " = ";
     if (const char* named = op_name(step.op)) {
       out += named;
     } else {
-      out += "op" + std::to_string(step.op);
+      out += "op";
+      out += std::to_string(step.op);
     }
-    out += "(x" + std::to_string(step.fanin0) + ", x" +
-           std::to_string(step.fanin1) + "); ";
+    out += "(x";
+    out += std::to_string(step.fanin0);
+    out += ", x";
+    out += std::to_string(step.fanin1);
+    out += "); ";
   }
   out += "out = ";
   if (output_inverted_) {
     out += "~";
   }
-  out += output_ < 0 ? "0" : "x" + std::to_string(output_);
+  if (output_ < 0) {
+    out += "0";
+  } else {
+    out += 'x';
+    out += std::to_string(output_);
+  }
   return out;
 }
 

@@ -11,7 +11,12 @@ std::vector<std::string> default_var_names(int num_vars) {
     if (v < 26) {
       names.push_back(std::string(1, static_cast<char>('a' + v)));
     } else {
-      names.push_back("x" + std::to_string(v));
+      // Built via append, not `"x" + std::to_string(v)`: that operator+
+      // form trips GCC 12's bogus -Wrestrict at -O3 (GCC PR105329) and
+      // the build runs with -Werror.
+      std::string name(1, 'x');
+      name += std::to_string(v);
+      names.push_back(std::move(name));
     }
   }
   return names;

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/str.hpp"
 
@@ -171,10 +173,13 @@ std::optional<cached_solution> solution_cache::lookup(const truth_table& f) {
 
 std::optional<cached_solution> solution_cache::lookup(const np_canonical& canon,
                                                       const truth_table& f) {
+  // Key built outside the lock: it hashes the whole canonical table, and
+  // every worker of a batch run funnels through this mutex.
+  const std::string key = table_key(canon.table);
   entry found;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(table_key(canon.table));
+    util::lock_guard lock(mutex_);
+    const auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++stats_.misses;
       return std::nullopt;
@@ -207,8 +212,8 @@ void solution_cache::store(const np_canonical& canon, const truth_table& f,
   JANUS_CHECK_MSG(canon.transform.apply(f) == canon.table,
                   "store() given a canonical form that does not match f");
   entry e{transform_mapping(mapping, canon.transform), lower_bound};
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::string key = table_key(canon.table);
+  std::string key = table_key(canon.table);  // built outside the lock
+  util::lock_guard lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     entries_.emplace(std::move(key), std::move(e));
@@ -220,12 +225,12 @@ void solution_cache::store(const np_canonical& canon, const truth_table& f,
 }
 
 cache_stats solution_cache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   return stats_;
 }
 
 std::size_t solution_cache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   return entries_.size();
 }
 
@@ -266,7 +271,7 @@ void solution_cache::load(std::istream& in) {
       fail("stored mapping does not realize its truth table");
     }
     entry e{mapping, *lb};
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     const std::string key = table_key(table);
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
@@ -278,9 +283,21 @@ void solution_cache::load(std::istream& in) {
 }
 
 void solution_cache::save(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Lock-scope tightening (found by the thread-safety review): the old code
+  // held mutex_ across all of the stream I/O, so a drain writing a large
+  // store to a slow disk blocked every concurrent lookup/store. Copy the
+  // entries under the lock, serialize outside it — save() was already
+  // documented as a point-in-time snapshot.
+  std::vector<std::pair<std::string, entry>> snapshot;
+  {
+    util::lock_guard lock(mutex_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      snapshot.emplace_back(key, e);
+    }
+  }
   out << kHeader << '\n';
-  for (const auto& [key, e] : entries_) {
+  for (const auto& [key, e] : snapshot) {
     const auto colon = key.find(':');
     out << key.substr(0, colon) << ' ' << e.lower_bound << ' '
         << e.mapping.grid().rows << ' ' << e.mapping.grid().cols << ' '

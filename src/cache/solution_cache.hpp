@@ -25,13 +25,14 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "bf/np_transform.hpp"
 #include "lattice/mapping.hpp"
+#include "util/lock_order.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace janus::cache {
 
@@ -69,29 +70,34 @@ class solution_cache {
   /// Look up a solution for `f`. On a hit the stored canonical mapping is
   /// inverse-transformed and re-verified against the BFS oracle; throws
   /// janus::check_error if that verification fails.
-  [[nodiscard]] std::optional<cached_solution> lookup(const bf::truth_table& f);
+  [[nodiscard]] std::optional<cached_solution> lookup(const bf::truth_table& f)
+      JANUS_EXCLUDES(mutex_);
   /// Same, with a canonical form precomputed by canonicalize(f).
   [[nodiscard]] std::optional<cached_solution> lookup(
-      const bf::np_canonical& canon, const bf::truth_table& f);
+      const bf::np_canonical& canon, const bf::truth_table& f)
+      JANUS_EXCLUDES(mutex_);
 
   /// Record a completed solution for `f`. Keeps the smaller mapping when the
   /// class is already present.
   void store(const bf::truth_table& f, const lattice::lattice_mapping& mapping,
-             int lower_bound);
+             int lower_bound) JANUS_EXCLUDES(mutex_);
   /// Same, with a canonical form precomputed by canonicalize(f).
   void store(const bf::np_canonical& canon, const bf::truth_table& f,
-             const lattice::lattice_mapping& mapping, int lower_bound);
+             const lattice::lattice_mapping& mapping, int lower_bound)
+      JANUS_EXCLUDES(mutex_);
 
-  [[nodiscard]] cache_stats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] cache_stats stats() const JANUS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const JANUS_EXCLUDES(mutex_);
 
   // ---- persistent layer ----------------------------------------------------
 
   /// Merge entries from a stream; throws janus::check_error (with a line
   /// number) on malformed or corrupt content — a bad cache file must never
   /// silently feed wrong lattices downstream.
-  void load(std::istream& in);
-  void save(std::ostream& out) const;
+  void load(std::istream& in) JANUS_EXCLUDES(mutex_);
+  /// Serializes a point-in-time snapshot: entries are copied under the lock,
+  /// stream I/O happens outside it (a slow disk must not stall lookups).
+  void save(std::ostream& out) const JANUS_EXCLUDES(mutex_);
 
   /// Merge from `path`; returns false when the file does not exist.
   bool load_file(const std::string& path);
@@ -104,9 +110,14 @@ class solution_cache {
   };
 
   int exact_canon_max_vars_;
-  mutable std::mutex mutex_;  // guards entries_ and stats_
-  std::unordered_map<std::string, entry> entries_;
-  cache_stats stats_;
+  /// Guards entries_ and stats_. Held only around map/counter operations —
+  /// canonicalization, the inverse transform and the BFS-oracle re-check all
+  /// run outside it. Sits at the solution_cache (outermost) level of the
+  /// global lock order (util/lock_order.hpp).
+  mutable util::mutex mutex_
+      JANUS_ACQUIRED_BEFORE(util::lock_order::session_pool);
+  std::unordered_map<std::string, entry> entries_ JANUS_GUARDED_BY(mutex_);
+  cache_stats stats_ JANUS_GUARDED_BY(mutex_);
 };
 
 }  // namespace janus::cache

@@ -8,7 +8,7 @@ void cancel_state::cancel() {
   }
   std::vector<std::weak_ptr<cancel_state>> to_fire;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::lock_guard lock(mutex);
     to_fire.swap(children);
   }
   for (const auto& weak : to_fire) {
@@ -20,7 +20,7 @@ void cancel_state::cancel() {
 
 void cancel_state::link_child(const std::shared_ptr<cancel_state>& child) {
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::lock_guard lock(mutex);
     if (!flag.load(std::memory_order_relaxed)) {
       // Opportunistically drop dead entries so a long-lived parent that
       // spawns many short-lived children does not grow without bound.

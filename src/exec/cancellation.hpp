@@ -13,24 +13,27 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace janus::exec {
 
 namespace detail {
 
 struct cancel_state {
-  std::atomic<bool> flag{false};
-  std::mutex mutex;
-  std::vector<std::weak_ptr<cancel_state>> children;
+  /// The stop flag solvers poll in hot loops; lock-free by design.
+  std::atomic<bool> flag{false};  // lint: unguarded(polled from SAT inner loops; relaxed flag)
+  util::mutex mutex;
+  std::vector<std::weak_ptr<cancel_state>> children JANUS_GUARDED_BY(mutex);
 
   /// Set the flag and cascade to every still-alive child (once).
-  void cancel();
+  void cancel() JANUS_EXCLUDES(mutex);
 
   /// Register `child` for cascade; cancels it immediately when this state
   /// already fired.
-  void link_child(const std::shared_ptr<cancel_state>& child);
+  void link_child(const std::shared_ptr<cancel_state>& child)
+      JANUS_EXCLUDES(mutex);
 };
 
 }  // namespace detail

@@ -17,7 +17,7 @@ thread_pool::thread_pool(std::size_t workers) {
 
 thread_pool::~thread_pool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -32,7 +32,7 @@ void thread_pool::submit(std::function<void()> job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -42,8 +42,10 @@ void thread_pool::worker_loop() {
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::unique_lock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (queue_.empty()) {
         return;  // stopping and drained
       }
@@ -64,7 +66,7 @@ task_group::task_group(thread_pool* pool)
 bool task_group::state::execute_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::lock_guard lock(mutex);
     if (pending.empty()) {
       return false;
     }
@@ -74,7 +76,7 @@ bool task_group::state::execute_one() {
   try {
     task();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::lock_guard lock(mutex);
     if (!error) {
       error = std::current_exception();
     }
@@ -84,7 +86,7 @@ bool task_group::state::execute_one() {
 }
 
 void task_group::state::record_done() {
-  std::lock_guard<std::mutex> lock(mutex);
+  util::lock_guard lock(mutex);
   if (--unfinished == 0) {
     cv.notify_all();
   }
@@ -97,7 +99,7 @@ void task_group::run(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      util::lock_guard lock(state_->mutex);
       if (!state_->error) {
         state_->error = std::current_exception();
       }
@@ -105,7 +107,7 @@ void task_group::run(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::lock_guard lock(state_->mutex);
     state_->pending.push_back(std::move(task));
     ++state_->unfinished;
   }
@@ -118,7 +120,7 @@ void task_group::wait() {
   wait_no_rethrow();
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::lock_guard lock(state_->mutex);
     error = std::exchange(state_->error, nullptr);
   }
   if (error) {
@@ -129,8 +131,10 @@ void task_group::wait() {
 void task_group::wait_no_rethrow() {
   while (state_->execute_one()) {
   }
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return state_->unfinished == 0; });
+  util::unique_lock lock(state_->mutex);
+  while (state_->unfinished != 0) {
+    state_->cv.wait(lock);
+  }
 }
 
 }  // namespace janus::exec

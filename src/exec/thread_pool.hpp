@@ -13,15 +13,15 @@
 // exception captured and rethrown from wait() (first one wins).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace janus::exec {
 
@@ -42,11 +42,11 @@ class thread_pool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  util::mutex mutex_;
+  util::cond_var cv_;
+  std::deque<std::function<void()>> queue_ JANUS_GUARDED_BY(mutex_);
+  bool stopping_ JANUS_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  ///< written in the ctor only; joined in ~
 };
 
 /// A set of tasks whose completion is awaited together.
@@ -69,15 +69,16 @@ class task_group {
 
  private:
   struct state {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> pending;
-    std::size_t unfinished = 0;  // pending + currently executing
-    std::exception_ptr error;
+    util::mutex mutex;
+    util::cond_var cv;
+    std::deque<std::function<void()>> pending JANUS_GUARDED_BY(mutex);
+    /// pending + currently executing
+    std::size_t unfinished JANUS_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error JANUS_GUARDED_BY(mutex);
 
     /// Claim and run one pending task; false if none were pending.
-    bool execute_one();
-    void record_done();
+    bool execute_one() JANUS_EXCLUDES(mutex);
+    void record_done() JANUS_EXCLUDES(mutex);
   };
 
   void wait_no_rethrow();

@@ -5,7 +5,6 @@
 #include <exception>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -357,13 +356,13 @@ axis_outcome axis_protocol(rng& gen, rng& mutation) {
   options.base.time_limit_s = 10.0;
   options.base.lm.sat_time_limit_s = 5.0;
 
-  std::mutex mutex;
+  util::mutex mutex;
   std::vector<std::string> responses;
   {
     service::synthesis_service svc(options);
     for (const std::string& line : script.lines) {
       svc.submit_line(1, line, [&](std::string response) {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::lock_guard lock(mutex);
         responses.push_back(std::move(response));
       });
     }

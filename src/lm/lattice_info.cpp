@@ -37,12 +37,20 @@ const lattice_info& lattice_info_cache::get(const lattice::dims& d) {
   const auto key = std::make_pair(d.rows, d.cols);
   std::shared_ptr<slot> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& stored = entries_[key];
-    if (stored == nullptr) {
-      stored = std::make_shared<slot>();
+    util::lock_guard lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
     }
-    entry = stored;
+  }
+  if (entry == nullptr) {
+    // Allocate outside the map lock — every concurrent probe of every
+    // dimension serializes on mutex_, so the critical section stays at
+    // two map operations. The first inserter wins; a losing allocation
+    // is simply dropped.
+    auto fresh = std::make_shared<slot>();
+    util::lock_guard lock(mutex_);
+    entry = entries_.try_emplace(key, std::move(fresh)).first->second;
   }
   // Enumerate outside the map lock so distinct dimensions build in parallel.
   std::call_once(entry->once, [&] { build_info(entry->info, d, max_paths_); });

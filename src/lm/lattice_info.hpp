@@ -14,6 +14,7 @@
 
 #include "lattice/dims.hpp"
 #include "lattice/paths.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace janus::lm {
 
@@ -46,19 +47,20 @@ class lattice_info_cache {
       : max_paths_(max_paths) {}
 
   /// Borrowing accessor; the cache owns the entry.
-  const lattice_info& get(const lattice::dims& d);
+  const lattice_info& get(const lattice::dims& d) JANUS_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t max_paths() const { return max_paths_; }
 
  private:
   struct slot {
     std::once_flag once;
-    lattice_info info;
+    lattice_info info;  ///< written once under `once`, read-only after
   };
 
   std::size_t max_paths_;
-  std::mutex mutex_;  // guards the map only, not entry construction
-  std::map<std::pair<int, int>, std::shared_ptr<slot>> entries_;
+  util::mutex mutex_;  // guards the map only, not entry construction
+  std::map<std::pair<int, int>, std::shared_ptr<slot>> entries_
+      JANUS_GUARDED_BY(mutex_);
 };
 
 }  // namespace janus::lm

@@ -172,7 +172,7 @@ lm_session::probe_result lm_session::probe(const lattice_info& info,
 // --------------------------------------------------------------------------
 
 lm_session_pool::lease lm_session_pool::acquire(bool dual_side) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::unique_lock lock(mutex_);
   auto& idle = idle_[dual_side ? 1 : 0];
   if (!idle.empty()) {
     std::unique_ptr<lm_session> s = std::move(idle.back());
@@ -186,12 +186,12 @@ lm_session_pool::lease lm_session_pool::acquire(bool dual_side) {
 }
 
 void lm_session_pool::release(std::unique_ptr<lm_session> session) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   idle_[session->dual_side() ? 1 : 0].push_back(std::move(session));
 }
 
 void lm_session_pool::note_unrealizable(const lattice::dims& d) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   for (const lattice::dims& f : unsat_frontier_) {
     if (d.rows <= f.rows && d.cols <= f.cols) {
       return;  // already dominated
@@ -204,7 +204,7 @@ void lm_session_pool::note_unrealizable(const lattice::dims& d) {
 }
 
 bool lm_session_pool::known_unrealizable(const lattice::dims& d) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   for (const lattice::dims& f : unsat_frontier_) {
     if (d.rows <= f.rows && d.cols <= f.cols) {
       return true;
@@ -214,17 +214,17 @@ bool lm_session_pool::known_unrealizable(const lattice::dims& d) const {
 }
 
 std::size_t lm_session_pool::sessions_created() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   return created_;
 }
 
 std::uint64_t lm_session_pool::pruned_probes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   return pruned_;
 }
 
 void lm_session_pool::count_pruned_probe() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   ++pruned_;
 }
 

@@ -48,7 +48,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -56,6 +55,8 @@
 
 #include "exec/cancellation.hpp"
 #include "lm/encoding.hpp"
+#include "util/lock_order.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace janus::lm {
@@ -208,33 +209,39 @@ class lm_session_pool {
     std::unique_ptr<lm_session> session_;
   };
 
-  [[nodiscard]] lease acquire(bool dual_side);
+  [[nodiscard]] lease acquire(bool dual_side) JANUS_EXCLUDES(mutex_);
 
   /// Record a rule-free-unrealizable dims (monotone verdict).
-  void note_unrealizable(const lattice::dims& d);
+  void note_unrealizable(const lattice::dims& d) JANUS_EXCLUDES(mutex_);
 
   /// Is `d` dominated by a recorded unrealizable dims (d.rows <= r and
   /// d.cols <= c for some recorded (r, c))?
-  [[nodiscard]] bool known_unrealizable(const lattice::dims& d) const;
+  [[nodiscard]] bool known_unrealizable(const lattice::dims& d) const
+      JANUS_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t sessions_created() const;
-  [[nodiscard]] std::uint64_t pruned_probes() const;
-  void count_pruned_probe();
+  [[nodiscard]] std::size_t sessions_created() const JANUS_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t pruned_probes() const JANUS_EXCLUDES(mutex_);
+  void count_pruned_probe() JANUS_EXCLUDES(mutex_);
 
  private:
   friend class lease;
-  void release(std::unique_ptr<lm_session> session);
+  void release(std::unique_ptr<lm_session> session) JANUS_EXCLUDES(mutex_);
 
   const target_spec& target_;
   const lm_encode_options options_;
   const sat::solver_options solver_options_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<lm_session>> idle_[2];  ///< [primal, dual]
-  std::size_t created_ = 0;
-  std::uint64_t pruned_ = 0;
+  /// Pool lock: sits at the session_pool level of the global lock order —
+  /// never acquired while a solution-cache lock is wanted (see
+  /// util/lock_order.hpp and the table in docs/static-analysis.md).
+  mutable util::mutex mutex_
+      JANUS_ACQUIRED_AFTER(util::lock_order::solution_cache);
+  /// [primal, dual]
+  std::vector<std::unique_ptr<lm_session>> idle_[2] JANUS_GUARDED_BY(mutex_);
+  std::size_t created_ JANUS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pruned_ JANUS_GUARDED_BY(mutex_) = 0;
   /// Pareto frontier of proven-unrealizable dimensions (no entry dominates
   /// another; inserts drop newly dominated entries).
-  std::vector<lattice::dims> unsat_frontier_;
+  std::vector<lattice::dims> unsat_frontier_ JANUS_GUARDED_BY(mutex_);
 };
 
 }  // namespace janus::lm

@@ -1,6 +1,7 @@
 #include "sat/dimacs.hpp"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -26,8 +27,15 @@ cnf read_dimacs(std::istream& in) {
       const auto tokens = split_ws(trimmed);
       JANUS_CHECK_MSG(tokens.size() == 4 && tokens[1] == "cnf",
                       "malformed DIMACS problem line");
-      declared_vars = std::stoi(tokens[2]);
-      declared_clauses = std::stol(tokens[3]);
+      // Strict parses: stoi/stol accept trailing junk and throw bare
+      // std::invalid_argument on garbage; a malformed header must surface
+      // as a check_error like every other DIMACS defect.
+      const std::optional<int> nv = parse_count(tokens[2], 0, 1 << 28);
+      const std::optional<int> nc = parse_count(tokens[3], 0, 1'000'000'000);
+      JANUS_CHECK_MSG(nv.has_value() && nc.has_value(),
+                      "malformed DIMACS problem line");
+      declared_vars = *nv;
+      declared_clauses = *nc;
       while (formula.num_vars() < declared_vars) {
         (void)formula.new_var();
       }
@@ -35,7 +43,11 @@ cnf read_dimacs(std::istream& in) {
     }
     JANUS_CHECK_MSG(declared_vars >= 0, "clause before DIMACS problem line");
     for (const auto& token : split_ws(trimmed)) {
-      const int value = std::stoi(token);
+      const std::optional<int> parsed =
+          parse_int(token, -(1 << 28), 1 << 28);
+      JANUS_CHECK_MSG(parsed.has_value(),
+                      "malformed DIMACS literal '" + token + "'");
+      const int value = *parsed;
       if (value == 0) {
         formula.add_clause(current);
         current.clear();

@@ -45,7 +45,7 @@ double latency_histogram::quantile_ms(double q) const {
 
 bool fair_queue::push(std::uint64_t client, queued_job job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     if (closed_ || size_ >= capacity_) {
       return false;
     }
@@ -61,8 +61,10 @@ bool fair_queue::push(std::uint64_t client, queued_job job) {
 }
 
 std::optional<queued_job> fair_queue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  util::unique_lock lock(mutex_);
+  while (size_ == 0 && !closed_) {
+    cv_.wait(lock);
+  }
   if (size_ == 0) {
     return std::nullopt;  // closed and drained
   }
@@ -82,14 +84,14 @@ std::optional<queued_job> fair_queue::pop() {
 
 void fair_queue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t fair_queue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lock_guard lock(mutex_);
   return size_;
 }
 
@@ -126,13 +128,13 @@ void synthesis_service::submit_line(std::uint64_t client,
                                     std::string_view line,
                                     std::function<void(std::string)> respond) {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::lock_guard lock(state_mutex_);
     ++counters_.received;
   }
   parse_outcome parsed = parse_request(line, options_.limits);
   if (!parsed.req.has_value()) {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       ++counters_.bad_requests;
     }
     respond(error_response(parsed.id, error_code::bad_request, parsed.error));
@@ -151,7 +153,7 @@ void synthesis_service::submit_line(std::uint64_t client,
       respond(shutdown_response(req.id));
       bool first = false;
       {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        util::lock_guard lock(state_mutex_);
         first = !shutdown_signalled_;
         shutdown_signalled_ = true;
       }
@@ -166,7 +168,7 @@ void synthesis_service::submit_line(std::uint64_t client,
 
   if (draining()) {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       ++counters_.rejected_shutting_down;
     }
     respond(error_response(req.id, error_code::shutting_down,
@@ -191,25 +193,38 @@ void synthesis_service::submit_line(std::uint64_t client,
   // The respond callback must survive a failed push.
   auto reject = job.respond;
   const std::string id = job.req.id;
+  // Count the job as unfinished *before* the push makes it visible to the
+  // workers: a worker may pop and start it before push() even returns here,
+  // and the drain grace wait must never observe an accepted job as "no work
+  // left" (see the unfinished_jobs_ comment in the header).
+  {
+    util::lock_guard lock(state_mutex_);
+    ++unfinished_jobs_;
+  }
   if (!queue_.push(client, std::move(job))) {
     const bool now_draining = draining();
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
+      --unfinished_jobs_;  // rejected, never handed to a worker
       ++(now_draining ? counters_.rejected_shutting_down
                       : counters_.rejected_overloaded);
     }
+    idle_cv_.notify_all();
     if (now_draining) {
       reject(error_response(id, error_code::shutting_down,
                             "daemon is draining"));
     } else {
-      reject(error_response(
-          id, error_code::overloaded,
-          "queue full (" + std::to_string(options_.queue_capacity) +
-              " queued)"));
+      // Append form: the `"..." + std::to_string(...)` operator+ chain
+      // trips GCC 12's bogus -Wrestrict at -O3 (GCC PR105329) under
+      // -Werror.
+      std::string why = "queue full (";
+      why += std::to_string(options_.queue_capacity);
+      why += " queued)";
+      reject(error_response(id, error_code::overloaded, why));
     }
     return;
   }
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::lock_guard lock(state_mutex_);
   ++counters_.admitted;
 }
 
@@ -219,28 +234,33 @@ void synthesis_service::worker_loop() {
     if (!job.has_value()) {
       return;  // queue closed and drained
     }
+    // The test hook runs in the dequeued-but-not-yet-in-flight window on
+    // purpose: that is exactly the window where the pre-fix drain grace
+    // predicate (in_flight_ == 0 && queue empty) misread accepted work as
+    // "all idle" — tests/test_service.cpp holds a worker here to pin the
+    // regression.
+    if (options_.on_job_start) {
+      options_.on_job_start(job->client, job->req.id);
+    }
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       ++in_flight_;
     }
     run_job(std::move(*job));
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       --in_flight_;
+      --unfinished_jobs_;  // counted at admission; the job is now answered
     }
     idle_cv_.notify_all();
   }
 }
 
 void synthesis_service::run_job(queued_job job) {
-  if (options_.on_job_start) {
-    options_.on_job_start(job.client, job.req.id);
-  }
-
   // Jobs still queued when the drain grace period expires are not started.
   if (drain_cancel_.cancel_requested()) {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       ++counters_.rejected_shutting_down;
     }
     job.respond(error_response(job.req.id, error_code::shutting_down,
@@ -344,7 +364,7 @@ void synthesis_service::run_job(queued_job job) {
       // Invariant failure in the engine: surface it as a typed internal
       // error, keep the worker (and the daemon) alive.
       const double ms = job.clock.seconds() * 1000.0;
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      util::lock_guard lock(state_mutex_);
       ++counters_.failed_internal;
       counters_.solver_totals += solver_delta;
       counters_.total_probes += probes;
@@ -367,7 +387,7 @@ void synthesis_service::run_job(queued_job job) {
 
   const double ms = job.clock.seconds() * 1000.0;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::lock_guard lock(state_mutex_);
     ++(any_timed_out ? counters_.completed_timeout : counters_.completed_ok);
     counters_.solver_totals += solver_delta;
     counters_.total_probes += probes;
@@ -441,14 +461,14 @@ std::string synthesis_service::stats_response(const std::string& id) const {
 }
 
 bool synthesis_service::draining() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::lock_guard lock(state_mutex_);
   return draining_;
 }
 
 service_stats synthesis_service::stats() const {
   service_stats s;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::lock_guard lock(state_mutex_);
     s = counters_;
     s.in_flight = in_flight_;
     s.draining = draining_;
@@ -462,9 +482,9 @@ service_stats synthesis_service::stats() const {
 void synthesis_service::drain() { drain(options_.drain_grace_s); }
 
 void synthesis_service::drain(double grace_s) {
-  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  util::lock_guard drain_lock(drain_mutex_);
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::lock_guard lock(state_mutex_);
     if (drained_) {
       return;
     }
@@ -472,13 +492,23 @@ void synthesis_service::drain(double grace_s) {
   }
   queue_.close();
 
-  // Grace period: let accepted work finish on its own.
+  // Grace period: let accepted work finish on its own. The wait keys off the
+  // admission-counted unfinished_jobs_ — not in_flight_ + queue depth, whose
+  // combination reads 0 in the window where a worker has popped a job but
+  // not yet counted it in-flight (tests/test_service.cpp, "drain grace
+  // covers a popped-but-uncounted job"). It also keeps fair_queue's lock out
+  // of a wait predicate running under state_mutex_.
   {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    const auto grace = std::chrono::duration<double>(std::max(0.0, grace_s));
-    idle_cv_.wait_for(lock, grace, [&] {
-      return in_flight_ == 0 && queue_.depth() == 0;
-    });
+    util::unique_lock lock(state_mutex_);
+    const auto grace_end =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, grace_s)));
+    while (unfinished_jobs_ != 0) {
+      if (idle_cv_.wait_until(lock, grace_end) == std::cv_status::timeout) {
+        break;  // grace expired; the cancel below unwinds what remains
+      }
+    }
   }
 
   // Whatever is still running unwinds through the cancellation tree; jobs
@@ -495,7 +525,7 @@ void synthesis_service::drain(double grace_s) {
     JANUS_LOG(info) << "service: cache persisted to " << options_.cache_path
                     << " (" << store_.size() << " classes)";
   }
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::lock_guard lock(state_mutex_);
   drained_ = true;
 }
 

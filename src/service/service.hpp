@@ -37,12 +37,10 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -54,6 +52,7 @@
 #include "lm/lattice_info.hpp"
 #include "service/protocol.hpp"
 #include "synth/janus.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace janus::service {
@@ -133,8 +132,11 @@ struct service_options {
   /// cancellation); everything else applies as-is.
   synth::janus_options base;
   /// Test hook: runs on the worker thread right after a synth job is
-  /// dequeued, before any synthesis. Lets tests hold a worker at a
-  /// deterministic point (admission/fairness/deadline tests). Null = no-op.
+  /// dequeued — before the job is counted in-flight and before any
+  /// synthesis. Lets tests hold a worker at a deterministic point
+  /// (admission/fairness/deadline tests, and the drain-grace race
+  /// regression, which needs exactly this popped-but-uncounted window).
+  /// Null = no-op.
   std::function<void(std::uint64_t client, const std::string& id)> on_job_start;
 };
 
@@ -155,26 +157,29 @@ class fair_queue {
 
   /// False when the queue is at capacity or closed (the caller sends the
   /// typed rejection; the queue does not know about responses).
-  [[nodiscard]] bool push(std::uint64_t client, queued_job job);
+  [[nodiscard]] bool push(std::uint64_t client, queued_job job)
+      JANUS_EXCLUDES(mutex_);
 
   /// Next job, round-robin over clients with pending work: after a client is
   /// served it goes to the back of the rotation. Blocks; nullopt once the
   /// queue is closed and empty.
-  [[nodiscard]] std::optional<queued_job> pop();
+  [[nodiscard]] std::optional<queued_job> pop() JANUS_EXCLUDES(mutex_);
 
   /// Reject further pushes; pending jobs still drain through pop().
-  void close();
+  void close() JANUS_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const JANUS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable util::mutex mutex_;
+  util::cond_var cv_;
   std::size_t capacity_;
-  std::size_t size_ = 0;
-  bool closed_ = false;
-  std::map<std::uint64_t, std::deque<queued_job>> per_client_;
-  std::deque<std::uint64_t> rotation_;  ///< clients with pending jobs, fair order
+  std::size_t size_ JANUS_GUARDED_BY(mutex_) = 0;
+  bool closed_ JANUS_GUARDED_BY(mutex_) = false;
+  std::map<std::uint64_t, std::deque<queued_job>> per_client_
+      JANUS_GUARDED_BY(mutex_);
+  /// Clients with pending jobs, fair order.
+  std::deque<std::uint64_t> rotation_ JANUS_GUARDED_BY(mutex_);
 };
 
 class synthesis_service {
@@ -192,17 +197,18 @@ class synthesis_service {
   /// or later from a worker thread (admitted synth jobs). `respond` must be
   /// callable from any thread and must not block for long.
   void submit_line(std::uint64_t client, std::string_view line,
-                   std::function<void(std::string)> respond);
+                   std::function<void(std::string)> respond)
+      JANUS_EXCLUDES(state_mutex_);
 
   /// Stop admitting, finish accepted work (cancelling whatever outlives
   /// `grace_s`), persist the cache, join the workers. Idempotent; subsequent
   /// calls return immediately. The no-argument form uses
   /// options().drain_grace_s.
-  void drain();
-  void drain(double grace_s);
+  void drain() JANUS_EXCLUDES(drain_mutex_, state_mutex_);
+  void drain(double grace_s) JANUS_EXCLUDES(drain_mutex_, state_mutex_);
 
-  [[nodiscard]] bool draining() const;
-  [[nodiscard]] service_stats stats() const;
+  [[nodiscard]] bool draining() const JANUS_EXCLUDES(state_mutex_);
+  [[nodiscard]] service_stats stats() const JANUS_EXCLUDES(state_mutex_);
   [[nodiscard]] const service_options& options() const { return options_; }
   /// Solution classes currently in the shared store (tests, warm-restart
   /// checks).
@@ -215,11 +221,12 @@ class synthesis_service {
   std::function<void()> on_shutdown_request;
 
  private:
-  void worker_loop();
-  void run_job(queued_job job);
+  void worker_loop() JANUS_EXCLUDES(state_mutex_);
+  void run_job(queued_job job) JANUS_EXCLUDES(state_mutex_);
   void finish_job(queued_job& job, const std::vector<output_report>& outputs,
                   bool timed_out);
-  [[nodiscard]] std::string stats_response(const std::string& id) const;
+  [[nodiscard]] std::string stats_response(const std::string& id) const
+      JANUS_EXCLUDES(state_mutex_);
 
   service_options options_;
   cache::solution_cache store_;
@@ -227,14 +234,28 @@ class synthesis_service {
   fair_queue queue_;
   exec::cancel_source drain_cancel_;
 
-  std::mutex drain_mutex_;          // serializes drain() callers end to end
-  mutable std::mutex state_mutex_;  // counters + drain flags + idle cv state
-  std::condition_variable idle_cv_;
-  service_stats counters_;          // queue/store/live fields filled on read
-  std::size_t in_flight_ = 0;
-  bool draining_ = false;
-  bool drained_ = false;
-  bool shutdown_signalled_ = false;
+  util::mutex drain_mutex_;  ///< serializes drain() callers end to end
+  /// Guards the counters, the drain flags and the idle-wait state below.
+  /// Never held while a fair_queue operation runs (the drain grace wait of
+  /// an earlier revision called queue_.depth() from inside its wait
+  /// predicate, nesting state_mutex_ -> fair_queue::mutex_; the
+  /// unfinished-jobs counter exists to keep these two locks disjoint).
+  mutable util::mutex state_mutex_;
+  util::cond_var idle_cv_;
+  /// Queue/store/live fields filled on read.
+  service_stats counters_ JANUS_GUARDED_BY(state_mutex_);
+  /// Jobs admitted but not yet finished by run_job. Incremented at admission
+  /// (before the queue push becomes visible to workers), decremented after
+  /// run_job returns — so, unlike in_flight_, it can never read 0 while an
+  /// accepted job sits between queue_.pop() and the in_flight_ increment.
+  /// The drain grace wait below keys off this counter alone; the old
+  /// `in_flight_ == 0 && queue_.depth() == 0` predicate had exactly that
+  /// popped-but-not-counted window and could cancel accepted work early.
+  std::size_t unfinished_jobs_ JANUS_GUARDED_BY(state_mutex_) = 0;
+  std::size_t in_flight_ JANUS_GUARDED_BY(state_mutex_) = 0;
+  bool draining_ JANUS_GUARDED_BY(state_mutex_) = false;
+  bool drained_ JANUS_GUARDED_BY(state_mutex_) = false;
+  bool shutdown_signalled_ JANUS_GUARDED_BY(state_mutex_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -15,8 +15,11 @@ namespace janus::service {
 namespace {
 
 // Shared with the signal handler: only lock-free atomics and raw fds.
+// lint: unguarded(written from an async signal handler; locks are forbidden)
 std::atomic<int> g_pipe_write_fd{-1};
+// lint: unguarded(written from an async signal handler; locks are forbidden)
 std::atomic<int> g_fired{0};
+// lint: unguarded(written from an async signal handler; locks are forbidden)
 std::atomic<bool> g_active{false};
 
 extern "C" void on_signal_raw(int sig) {

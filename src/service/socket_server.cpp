@@ -11,6 +11,7 @@
 
 #include "service/protocol.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/log.hpp"
 
 namespace janus::service {
@@ -18,11 +19,11 @@ namespace janus::service {
 struct socket_server::connection {
   int fd = -1;
   std::uint64_t client = 0;
-  std::mutex write_mutex;
-  bool open = true;  // guarded by write_mutex
+  util::mutex write_mutex;
+  bool open JANUS_GUARDED_BY(write_mutex) = true;
 
-  void send_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+  void send_line(const std::string& line) JANUS_EXCLUDES(write_mutex) {
+    util::lock_guard lock(write_mutex);
     if (!open) {
       return;  // client gone; late responses are dropped by design
     }
@@ -41,8 +42,8 @@ struct socket_server::connection {
     }
   }
 
-  void close_socket() {
-    std::lock_guard<std::mutex> lock(write_mutex);
+  void close_socket() JANUS_EXCLUDES(write_mutex) {
+    util::lock_guard lock(write_mutex);
     if (open) {
       open = false;
       ::shutdown(fd, SHUT_RDWR);
@@ -76,7 +77,7 @@ socket_server::socket_server(std::string socket_path, line_handler handler,
 socket_server::~socket_server() {
   request_stop();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     for (const std::weak_ptr<connection>& weak : connections_) {
       if (auto conn = weak.lock()) {
         conn->close_socket();
@@ -85,7 +86,7 @@ socket_server::~socket_server() {
   }
   std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     readers.swap(readers_);
   }
   for (std::thread& t : readers) {
@@ -127,7 +128,7 @@ void socket_server::run() {
     }
     auto conn = std::make_shared<connection>();
     conn->fd = fd;
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::lock_guard lock(mutex_);
     conn->client = next_client_++;
     connections_.push_back(conn);
     readers_.emplace_back(

@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace janus::service {
 
@@ -72,10 +73,10 @@ class socket_server {
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
 
-  std::mutex mutex_;  // guards connections_ and readers_
-  std::vector<std::weak_ptr<connection>> connections_;
-  std::vector<std::thread> readers_;
-  std::uint64_t next_client_ = 1;
+  util::mutex mutex_;
+  std::vector<std::weak_ptr<connection>> connections_ JANUS_GUARDED_BY(mutex_);
+  std::vector<std::thread> readers_ JANUS_GUARDED_BY(mutex_);
+  std::uint64_t next_client_ JANUS_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace janus::service

@@ -118,7 +118,7 @@ janus_synthesizer::probe_outcome janus_synthesizer::probe(
     const lm::lm_options& lm_options) {
   const auto key = std::make_pair(d.rows, d.cols);
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::lock_guard lock(memo_mutex_);
     const auto it = probe_memo_.find(key);
     if (it != probe_memo_.end()) {
       return {it->second, 0.0, /*from_cache=*/true};
@@ -131,7 +131,7 @@ janus_synthesizer::probe_outcome janus_synthesizer::probe(
                   << static_cast<int>(r.status) << " ("
                   << format_fixed(seconds, 2) << "s)";
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::lock_guard lock(memo_mutex_);
     sat_totals_ += r.solver;
     // Only definitive answers are worth caching: an unknown may resolve with
     // a fresh budget, and a cancelled probe never really ran. (A probe ranked
@@ -208,7 +208,7 @@ std::optional<lattice_mapping> janus_synthesizer::probe_step(
     for (std::size_t i = 0; i < n; ++i) {
       stops.emplace_back(options_.exec.cancel);
     }
-    std::mutex step_mutex;
+    util::mutex step_mutex;
     std::size_t best_rank = n;
     exec::task_group group(pool);
     for (std::size_t i = 0; i < n; ++i) {
@@ -223,7 +223,7 @@ std::optional<lattice_mapping> janus_synthesizer::probe_step(
         outcomes[i] = probe(target, candidates[i], budget, lm_options);
         probed[i] = 1;
         if (outcomes[i].result.status == lm::lm_status::realizable) {
-          std::lock_guard<std::mutex> lock(step_mutex);
+          util::lock_guard lock(step_mutex);
           if (i < best_rank) {
             best_rank = i;
             for (std::size_t j = i + 1; j < n; ++j) {
@@ -259,7 +259,7 @@ janus_result janus_synthesizer::run(const target_spec& target) {
   janus_result result;
   stopwatch total_clock;
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::lock_guard lock(memo_mutex_);
     probe_memo_.clear();
     sat_totals_ = {};
   }
@@ -385,7 +385,7 @@ janus_result janus_synthesizer::run(const target_spec& target) {
   }
   result.solution = std::move(best);
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::lock_guard lock(memo_mutex_);
     result.sat_totals = sat_totals_;
   }
   result.pruned_probes = session_pool.pruned_probes();

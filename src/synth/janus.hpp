@@ -13,7 +13,6 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "lm/lm_solver.hpp"
 #include "synth/bounds.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace janus::cache {
@@ -191,9 +191,10 @@ class janus_synthesizer {
 
   janus_options options_;
   lm::lattice_info_cache cache_;
-  std::mutex memo_mutex_;  // guards probe_memo_ and sat_totals_
-  std::map<std::pair<int, int>, lm::lm_result> probe_memo_;
-  sat::solver_stats sat_totals_;
+  util::mutex memo_mutex_;
+  std::map<std::pair<int, int>, lm::lm_result> probe_memo_
+      JANUS_GUARDED_BY(memo_mutex_);
+  sat::solver_stats sat_totals_ JANUS_GUARDED_BY(memo_mutex_);
   /// Incremental session pool of the in-flight run() (null in scratch mode
   /// or outside run()); probes lease solvers from here.
   lm::lm_session_pool* sessions_ = nullptr;

@@ -46,6 +46,7 @@ portfolio_result run_portfolio(const lm::target_spec& target,
   for (std::size_t i = 0; i < names.size(); ++i) {
     sources.emplace_back(ctx.cancel);
   }
+  // lint: unguarded(CAS claim ticket; the whole point is lock-freedom)
   std::atomic<int> claimed{-1};
 
   {

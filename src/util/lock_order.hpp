@@ -1,0 +1,36 @@
+// Project-wide lock-ordering anchors for the thread-safety analysis.
+//
+// Clang's ACQUIRED_BEFORE / ACQUIRED_AFTER attributes (checked under
+// -Wthread-safety-beta) relate capability *declarations*, so two locks that
+// live in unrelated classes — the solution cache's mutex and the LM
+// session pool's mutex — cannot name each other directly. These anchors
+// close that gap: each is a never-locked `util::mutex` standing for one
+// level of the global acquisition order, and the real locks pin themselves
+// before/after the anchors in their own declarations:
+//
+//   cache::solution_cache::mutex_   JANUS_ACQUIRED_BEFORE(session_pool anchor)
+//   lm::lm_session_pool::mutex_     JANUS_ACQUIRED_AFTER(solution_cache anchor)
+//
+// Declared order (outermost first — the full table with the service and
+// exec locks lives in docs/static-analysis.md):
+//
+//   1. solution_cache   (cache::solution_cache::mutex_)
+//   2. session_pool     (lm::lm_session_pool::mutex_)
+//
+// Today no code path holds both — cache operations complete before a probe
+// leases a session — and the declaration keeps it that way: a refactor of
+// the solver core that consults the solution cache while holding the pool
+// lock trips the beta analysis instead of shipping a latent deadlock.
+#pragma once
+
+#include "util/thread_annotations.hpp"
+
+namespace janus::util::lock_order {
+
+/// Anchor for the solution-cache level (acquired first when ever nested).
+extern mutex solution_cache;
+
+/// Anchor for the LM session-pool level (acquired after the cache level).
+extern mutex session_pool JANUS_ACQUIRED_AFTER(solution_cache);
+
+}  // namespace janus::util::lock_order

@@ -6,6 +6,7 @@
 namespace janus {
 
 namespace {
+// lint: unguarded(hot-path level filter; monotonic config, relaxed reads)
 std::atomic<log_level> g_level{log_level::warn};
 
 const char* level_name(log_level level) {

@@ -22,6 +22,18 @@ std::optional<int> parse_count(std::string_view token, int min, int max) {
   return static_cast<int>(value);
 }
 
+std::optional<int> parse_int(std::string_view token, int min, int max) {
+  if (!token.empty() && token.front() == '-') {
+    const std::optional<int> magnitude =
+        parse_count(token.substr(1), 0, 1'000'000'000);
+    if (!magnitude.has_value() || -*magnitude < min || -*magnitude > max) {
+      return std::nullopt;
+    }
+    return -*magnitude;
+  }
+  return parse_count(token, min, max);
+}
+
 std::vector<std::string> split_ws(std::string_view text) {
   std::vector<std::string> out;
   std::size_t i = 0;

@@ -14,6 +14,14 @@ namespace janus {
 [[nodiscard]] std::optional<int> parse_count(std::string_view token, int min,
                                              int max);
 
+/// Signed variant of parse_count: an optional leading '-' followed by digits
+/// only, range-checked against [min, max]. Replaces std::stoi/std::atoi at
+/// every call site (the project linter, tools/check_lint.py, forbids those:
+/// atoi returns 0 on garbage, stoi throws and accepts trailing junk).
+/// nullopt on any violation.
+[[nodiscard]] std::optional<int> parse_int(std::string_view token, int min,
+                                           int max);
+
 /// Split `text` on any of the whitespace characters, dropping empty tokens.
 [[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
 

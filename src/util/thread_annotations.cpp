@@ -1,0 +1,47 @@
+#include "util/thread_annotations.hpp"
+
+#include "util/check.hpp"
+#include "util/lock_order.hpp"
+
+namespace janus::util {
+
+namespace {
+std::atomic<bool> g_runtime_checks{false};        // lint: unguarded(feature toggle)
+std::atomic<std::uint64_t> g_checks{0};           // lint: unguarded(monotonic counter)
+std::atomic<std::uint64_t> g_violations{0};       // lint: unguarded(monotonic counter)
+}  // namespace
+
+void set_mutex_runtime_checks(bool enabled) {
+  g_runtime_checks.store(enabled, std::memory_order_relaxed);
+}
+
+bool mutex_runtime_checks_enabled() {
+  return g_runtime_checks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t mutex_checks_performed() {
+  return g_checks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t mutex_check_violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void mutex_check_violation(const char* what) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  throw check_error(std::string("mutex runtime check: ") + what);
+}
+
+void count_mutex_check() { g_checks.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+namespace lock_order {
+// Never actually locked; see util/lock_order.hpp.
+mutex solution_cache;
+mutex session_pool;
+}  // namespace lock_order
+
+}  // namespace janus::util

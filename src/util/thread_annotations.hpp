@@ -1,0 +1,276 @@
+// Clang Thread Safety Analysis for the JANUS concurrency layer.
+//
+// Two things live here:
+//
+//   1. The JANUS_* annotation macros — thin wrappers over clang's
+//      thread-safety attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+//      that expand to nothing on compilers without the analysis (GCC builds
+//      them away). Under `clang++ -Wthread-safety -Wthread-safety-beta
+//      -Werror=thread-safety-analysis` (the CI `static-analysis` job), the
+//      lock discipline they declare — which mutex guards which field, which
+//      functions require or acquire which capability — becomes part of the
+//      build: a PR that touches a guarded field outside its lock fails to
+//      compile instead of waiting for TSan to catch the interleaving.
+//
+//   2. `util::mutex` / `util::lock_guard` / `util::unique_lock` /
+//      `util::cond_var` — annotated drop-in equivalents of the std types.
+//      The std types themselves carry no capability attributes, so the
+//      analysis cannot see through them; every lock in src/, tools/ and
+//      bench/ goes through these wrappers instead (tools/check_lint.py
+//      rejects raw std::mutex outside this header). The wrapper also has a
+//      runtime debug-check mode (`set_mutex_runtime_checks`) that tracks the
+//      owning thread and turns recursive locking or an unlock by a
+//      non-owner into a loud check_error — `janus_fuzz --assert-annotations`
+//      runs a multi-threaded differential axis in this mode to confirm the
+//      static annotations and the runtime behavior agree.
+//
+// Condition-variable waits and the analysis: clang analyzes lambda bodies as
+// separate functions, so predicate-style `cv.wait(lock, [&]{ ... })` reads
+// guarded fields in a context where no lock is visibly held. Write waits as
+// explicit loops instead —
+//
+//     util::unique_lock lock(mutex_);
+//     while (!ready_) {        // guarded read, visibly under `lock`
+//       cv_.wait(lock);
+//     }
+//
+// — which is the house style everywhere in src/ (docs/static-analysis.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+// The attributes exist in every clang new enough to build this project; the
+// __has_attribute probe keeps the header honest on other frontends that
+// define __clang__ (and documents exactly which capability we rely on).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define JANUS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef JANUS_THREAD_ANNOTATION
+#define JANUS_THREAD_ANNOTATION(x)  // no thread-safety analysis available
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define JANUS_CAPABILITY(name) JANUS_THREAD_ANNOTATION(capability(name))
+
+/// Class attribute: RAII object that acquires on construction, releases on
+/// destruction (lock_guard / unique_lock shapes).
+#define JANUS_SCOPED_CAPABILITY JANUS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads/writes require holding `x`.
+#define JANUS_GUARDED_BY(x) JANUS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute for pointers: the pointed-to data requires holding `x`.
+#define JANUS_PT_GUARDED_BY(x) JANUS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the listed capabilities exclusively.
+#define JANUS_REQUIRES(...) \
+  JANUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must hold the listed capabilities (shared).
+#define JANUS_REQUIRES_SHARED(...) \
+  JANUS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the listed capabilities (not held on entry).
+#define JANUS_ACQUIRE(...) \
+  JANUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities (held on entry).
+#define JANUS_RELEASE(...) \
+  JANUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value is `ok`.
+#define JANUS_TRY_ACQUIRE(ok, ...) \
+  JANUS_THREAD_ANNOTATION(try_acquire_capability(ok, __VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the listed capabilities
+/// (deadlock guard for functions that acquire them internally).
+#define JANUS_EXCLUDES(...) JANUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (at runtime) the capability is held; the
+/// analysis then treats it as held without requiring a visible acquire.
+#define JANUS_ASSERT_CAPABILITY(x) \
+  JANUS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: the returned reference is the capability `x` (lets
+/// accessors expose a lock without losing the analysis).
+#define JANUS_RETURN_CAPABILITY(x) JANUS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declaration attributes: this capability must be acquired before/after the
+/// listed ones whenever both are held (checked under -Wthread-safety-beta).
+/// The project-wide ordering anchors live in util/lock_order.hpp and the
+/// human-readable table in docs/static-analysis.md.
+#define JANUS_ACQUIRED_BEFORE(...) \
+  JANUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define JANUS_ACQUIRED_AFTER(...) \
+  JANUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for a single function. Every use needs a justification
+/// comment; tools/check_lint.py counts and reports them.
+#define JANUS_NO_THREAD_SAFETY_ANALYSIS \
+  JANUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace janus::util {
+
+/// Toggle the mutex wrapper's runtime owner checks (off by default: one
+/// relaxed atomic load per lock/unlock when off). Enabled by
+/// `janus_fuzz --assert-annotations` and tests/test_annotations.cpp.
+void set_mutex_runtime_checks(bool enabled);
+[[nodiscard]] bool mutex_runtime_checks_enabled();
+
+/// Lock/unlock transitions validated while runtime checks were on
+/// (monotonic; never reset). A smoke run asserts this moved.
+[[nodiscard]] std::uint64_t mutex_checks_performed();
+
+/// Violations observed (recursive lock, unlock by non-owner). Each one also
+/// throws check_error at the offending call site; the counter survives the
+/// throw so a harness can report totals.
+[[nodiscard]] std::uint64_t mutex_check_violations();
+
+namespace detail {
+[[noreturn]] void mutex_check_violation(const char* what);
+void count_mutex_check();
+}  // namespace detail
+
+/// std::mutex with a capability annotation plus optional runtime owner
+/// tracking. Identical locking semantics (non-recursive, no try_lock
+/// spurious failures beyond std::mutex's own); see tests/test_annotations.cpp
+/// for the behavioral-parity suite.
+class JANUS_CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() JANUS_ACQUIRE() {
+    if (mutex_runtime_checks_enabled()) {
+      check_not_owner_and_lock();
+      return;
+    }
+    m_.lock();
+  }
+
+  void unlock() JANUS_RELEASE() {
+    if (mutex_runtime_checks_enabled()) {
+      check_owner_before_unlock();
+    }
+    m_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock() JANUS_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) {
+      return false;
+    }
+    if (mutex_runtime_checks_enabled()) {
+      note_acquired();
+    }
+    return true;
+  }
+
+ private:
+  void check_not_owner_and_lock() {
+    if (owner_.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+      detail::mutex_check_violation("recursive lock of a util::mutex");
+    }
+    m_.lock();
+    note_acquired();
+  }
+
+  void check_owner_before_unlock() {
+    if (owner_.load(std::memory_order_relaxed) != std::this_thread::get_id()) {
+      detail::mutex_check_violation("util::mutex unlocked by a non-owner");
+    }
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    detail::count_mutex_check();
+  }
+
+  void note_acquired() {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    detail::count_mutex_check();
+  }
+
+  std::mutex m_;
+  /// Owning thread while runtime checks are on; read pre-lock by the
+  /// recursive-lock check, hence atomic.
+  std::atomic<std::thread::id> owner_{};  // lint: unguarded(owner-check state, written only by the lock holder)
+};
+
+/// Annotated std::lock_guard equivalent over util::mutex.
+class JANUS_SCOPED_CAPABILITY lock_guard {
+ public:
+  explicit lock_guard(mutex& m) JANUS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~lock_guard() JANUS_RELEASE() { m_.unlock(); }
+
+  lock_guard(const lock_guard&) = delete;
+  lock_guard& operator=(const lock_guard&) = delete;
+
+ private:
+  mutex& m_;
+};
+
+/// Annotated std::unique_lock equivalent over util::mutex: relockable, and
+/// the lock type util::cond_var waits on.
+class JANUS_SCOPED_CAPABILITY unique_lock {
+ public:
+  explicit unique_lock(mutex& m) JANUS_ACQUIRE(m) : m_(&m), owns_(true) {
+    m_->lock();
+  }
+  ~unique_lock() JANUS_RELEASE() {
+    if (owns_) {
+      m_->unlock();
+    }
+  }
+
+  unique_lock(const unique_lock&) = delete;
+  unique_lock& operator=(const unique_lock&) = delete;
+
+  void lock() JANUS_ACQUIRE() {
+    m_->lock();
+    owns_ = true;
+  }
+  void unlock() JANUS_RELEASE() {
+    m_->unlock();
+    owns_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+
+ private:
+  mutex* m_;
+  bool owns_;
+};
+
+/// Condition variable paired with util::mutex via util::unique_lock.
+/// Waits release and reacquire the lock internally (std::condition_variable_any
+/// drives unique_lock's annotated lock()/unlock(), so the runtime owner
+/// checks stay accurate across a wait); to the analysis a wait is
+/// lock-state-neutral, which is exactly the caller-visible contract.
+class cond_var {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(unique_lock& lock) { cv_.wait(lock); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(unique_lock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock, d);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      unique_lock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock, tp);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace janus::util

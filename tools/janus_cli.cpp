@@ -61,6 +61,7 @@
 #include "synth/janus_mf.hpp"
 #include "synth/portfolio.hpp"
 #include "util/log.hpp"
+#include "util/str.hpp"
 
 namespace {
 
@@ -538,9 +539,12 @@ int cmd_compare(const cli_config& cfg) {
 }
 
 int cmd_table1(const cli_config& cfg) {
+  // Strict parse (atoi maps garbage to 0); out-of-range input clamps like
+  // it always did.
   int max = 8;
   if (!cfg.positional.empty()) {
-    max = std::atoi(cfg.positional[0].c_str());
+    max = janus::parse_int(cfg.positional[0], -1'000'000, 1'000'000)
+              .value_or(8);
   }
   max = std::max(2, std::min(max, 10));
   for (int m = 2; m <= max; ++m) {
@@ -580,7 +584,7 @@ int main(int argc, char** argv) {
     } else if (arg == "-j" || arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return usage();
-      cfg.jobs = std::max(1, std::atoi(v));
+      cfg.jobs = std::max(1, janus::parse_count(v, 1, 4096).value_or(1));
     } else if (arg == "--incremental") {
       cfg.incremental = true;
     } else if (arg == "--no-incremental") {
@@ -630,7 +634,7 @@ int main(int argc, char** argv) {
     } else if (arg == "-o") {
       const char* v = next();
       if (v == nullptr) return usage();
-      cfg.pla_output = std::atoi(v);
+      cfg.pla_output = janus::parse_int(v, -1, 1 << 20).value_or(-1);
     } else if (arg == "-q") {
       janus::set_log_level(janus::log_level::off);
     } else if (arg == "-v") {

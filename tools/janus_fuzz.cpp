@@ -4,6 +4,7 @@
 //              [--axes a,b,c] [--jobs N] [--failures FILE] [-v]
 //   janus_fuzz --replay RECORD [--jobs N]
 //   janus_fuzz --list-axes
+//   janus_fuzz --assert-annotations [--cases N] [--seed U64]
 //
 // The fuzz loop generates random truth tables / PLAs / adversarial PLA text
 // from the master seed and runs each case through one differential axis (the
@@ -13,6 +14,13 @@
 // failure line pastes in verbatim). docs/testing.md walks through the CI
 // workflow.
 //
+//   --assert-annotations      run with the util::mutex runtime owner checks
+//                             enabled (src/util/thread_annotations.hpp) on a
+//                             multi-threaded axis; fails unless lock
+//                             transitions were validated with zero
+//                             discipline violations. The CI static-analysis
+//                             job runs this as the dynamic counterpart of
+//                             the compile-time annotations.
 //   --inject cache-polarity   test-only fault injection: corrupt the cache
 //                             inverse-transform so the harness must catch it
 //                             (exercises the whole failure→record→replay
@@ -20,6 +28,7 @@
 //
 // Exit status: 0 = clean, 1 = discrepancies found (or a replayed case still
 // failing), 2 = usage error.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +40,7 @@
 #include "fuzz/harness.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace {
 
@@ -39,7 +49,8 @@ int usage() {
       stderr,
       "usage: janus_fuzz [--cases N] [--budget-seconds S] [--seed U64]\n"
       "                  [--axes a,b,c] [--jobs N] [--failures FILE]\n"
-      "                  [--inject cache-polarity] [-v]\n"
+      "                  [--inject cache-polarity] [--assert-annotations]\n"
+      "                  [-v]\n"
       "       janus_fuzz --replay RECORD [--jobs N] [--inject ...]\n"
       "       janus_fuzz --list-axes\n");
   return 2;
@@ -85,6 +96,8 @@ int main(int argc, char** argv) {
   options.budget_seconds = 0.0;
   std::string replay_record;
   bool list_axes = false;
+  bool assert_annotations = false;
+  bool axes_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -123,6 +136,7 @@ int main(int argc, char** argv) {
       if (text == nullptr) {
         return usage();
       }
+      axes_given = true;
       options.axes.clear();
       for (const std::string& name : split_list(text)) {
         const auto axis = janus::fuzz::axis_from_name(name);
@@ -156,6 +170,8 @@ int main(int argc, char** argv) {
         return usage();
       }
       setenv("JANUS_FUZZ_INJECT", text, 1);
+    } else if (arg == "--assert-annotations") {
+      assert_annotations = true;
     } else if (arg == "-v" || arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--list-axes") {
@@ -214,7 +230,18 @@ int main(int argc, char** argv) {
   }
 
   if (options.max_cases == 0 && options.budget_seconds == 0.0) {
-    options.max_cases = 200;  // a quick default sweep
+    options.max_cases = assert_annotations
+                            ? 40   // smoke scale: every case is multi-threaded
+                            : 200;  // a quick default sweep
+  }
+  if (assert_annotations) {
+    // Dynamic counterpart of the static annotations: run a genuinely
+    // multi-threaded axis with the wrapper's owner tracking on, then demand
+    // the run exercised it and observed zero lock-discipline violations.
+    if (!axes_given) {
+      options.axes = {janus::fuzz::axis_id::jobs1_vs_jobsn};
+    }
+    janus::util::set_mutex_runtime_checks(true);
   }
 
   const janus::fuzz::fuzz_report report = janus::fuzz::run_fuzz(options);
@@ -226,6 +253,24 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.passed),
       static_cast<unsigned long long>(report.skipped),
       report.failures.size(), report.seconds);
+  if (assert_annotations) {
+    const std::uint64_t checks = janus::util::mutex_checks_performed();
+    const std::uint64_t violations = janus::util::mutex_check_violations();
+    std::printf("annotation smoke: %llu lock transitions validated, "
+                "%llu violations\n",
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(violations));
+    if (checks == 0) {
+      std::printf("annotation smoke FAILED: the sweep never exercised the "
+                  "annotated mutex wrapper\n");
+      return 1;
+    }
+    if (violations != 0) {
+      std::printf("annotation smoke FAILED: lock-discipline violations "
+                  "detected\n");
+      return 1;
+    }
+  }
   if (!report.clean()) {
     std::printf("failures recorded in %s; replay any line with:\n"
                 "  janus_fuzz --replay '<record>'\n",

@@ -9,8 +9,8 @@
 // cache atomically, exit 0.
 //
 //   janusd --socket /tmp/janusd.sock --cache /var/tmp/janus.cache
-//   printf '{"v":1,"op":"synth","id":"r1","n":3,"table":"01101001"}\n' \
-//     | nc -U /tmp/janusd.sock
+//   printf '{"v":1,"op":"synth","id":"r1","n":3,"table":"01101001"}\n' |
+//     nc -U /tmp/janusd.sock
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +21,7 @@
 #include "service/signals.hpp"
 #include "service/socket_server.hpp"
 #include "util/log.hpp"
+#include "util/str.hpp"
 
 namespace {
 
@@ -73,10 +74,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache") {
       cfg.cache_path = need_value(i++);
     } else if (arg == "--workers") {
-      cfg.workers = std::atoi(need_value(i++));
+      // Strict parse: atoi turns garbage into 0 workers silently.
+      const auto n = janus::parse_count(need_value(i++), 1, 4096);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "janusd: --workers needs a count in [1, 4096]\n");
+        return 2;
+      }
+      cfg.workers = *n;
     } else if (arg == "--queue") {
-      cfg.queue_capacity =
-          static_cast<std::size_t>(std::atoll(need_value(i++)));
+      const auto n = janus::parse_count(need_value(i++), 1, 1 << 20);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "janusd: --queue needs a count in [1, 2^20]\n");
+        return 2;
+      }
+      cfg.queue_capacity = static_cast<std::size_t>(*n);
     } else if (arg == "--default-deadline") {
       cfg.default_deadline_s = std::atof(need_value(i++));
     } else if (arg == "--drain-grace") {

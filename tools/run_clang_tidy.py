@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's compile_commands.json with caching.
+
+Thin, dependency-free wrapper used by the CI static-analysis job and for
+local runs (docs/static-analysis.md):
+
+  python3 tools/run_clang_tidy.py --build build [--jobs N] [--cache DIR]
+
+For every translation unit in compile_commands.json under src/, tools/ or
+bench/, clang-tidy runs with the repo's .clang-tidy config. Results are
+cached by a content hash covering the source file, every repo header it
+includes (transitively, discovered from `gcc -MM`-style quoted includes),
+the .clang-tidy file and the clang-tidy version string — so re-runs after a
+localized edit only re-analyze the affected TUs. CI persists the cache
+directory between runs via actions/cache.
+
+Exit status: 0 when every TU is clean, 1 when any TU produced diagnostics,
+2 on usage/environment errors (missing clang-tidy, missing build dir).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_DIRS = ("src", "tools", "bench")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def repo_headers(root: str, source: str, seen: set[str]) -> None:
+    """Transitively collect repo-relative quoted includes of `source`."""
+    try:
+        with open(source, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return
+    for inc in INCLUDE_RE.findall(text):
+        for base in (os.path.join(root, "src"), os.path.dirname(source)):
+            candidate = os.path.normpath(os.path.join(base, inc))
+            if os.path.isfile(candidate) and candidate not in seen:
+                seen.add(candidate)
+                repo_headers(root, candidate, seen)
+                break
+
+
+def content_key(root: str, source: str, tidy_version: str) -> str:
+    """Hash of everything that can change this TU's clang-tidy verdict."""
+    deps: set[str] = {source}
+    repo_headers(root, source, deps)
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    for path in (os.path.join(root, ".clang-tidy"), *sorted(deps)):
+        h.update(path.encode())
+        try:
+            with open(path, "rb") as f:
+                h.update(f.read())
+        except OSError:
+            h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def run_one(tidy: str, build_dir: str, source: str) -> tuple[str, int, str]:
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", source],
+        capture_output=True, text=True, check=False)
+    # clang-tidy exits non-zero on warnings when WarningsAsErrors is set.
+    output = (proc.stdout + proc.stderr).strip()
+    return source, proc.returncode, output
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--cache", default=".clang-tidy-cache",
+                        help="directory for per-TU clean markers")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first found)")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary found", file=sys.stderr)
+        return 2
+    db_path = os.path.join(args.build, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"run_clang_tidy: {db_path} not found "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    with open(db_path, encoding="utf-8") as f:
+        database = json.load(f)
+    sources = sorted({
+        os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        for entry in database
+        if os.path.relpath(
+            os.path.abspath(os.path.join(entry["directory"], entry["file"])),
+            root).split(os.sep)[0] in REPO_DIRS
+    })
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True, check=False).stdout.strip()
+    os.makedirs(args.cache, exist_ok=True)
+
+    pending: list[tuple[str, str]] = []  # (source, cache key)
+    cached = 0
+    for source in sources:
+        key = content_key(root, source, version)
+        if os.path.exists(os.path.join(args.cache, key)):
+            cached += 1
+        else:
+            pending.append((source, key))
+    print(f"run_clang_tidy: {len(sources)} TUs "
+          f"({cached} cached clean, {len(pending)} to analyze) with {tidy}")
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = {
+            pool.submit(run_one, tidy, args.build, source): key
+            for source, key in pending
+        }
+        for future in concurrent.futures.as_completed(futures):
+            source, rc, output = future.result()
+            rel = os.path.relpath(source, root)
+            if rc == 0:
+                # Mark clean; the marker name is the content key, so any edit
+                # to the TU or its repo headers invalidates it automatically.
+                with open(os.path.join(args.cache, futures[future]), "w",
+                          encoding="utf-8") as f:
+                    f.write(rel + "\n")
+                print(f"  clean  {rel}")
+            else:
+                failures += 1
+                print(f"  FAIL   {rel}")
+                if output:
+                    print(output)
+
+    if failures:
+        print(f"run_clang_tidy: {failures} TU(s) with diagnostics")
+        return 1
+    print("run_clang_tidy: all clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
